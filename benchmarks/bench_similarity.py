@@ -1,0 +1,93 @@
+"""Benchmark A3 -- micro-benchmarks of the similarity kernels.
+
+The complexity analysis of Sec. 4.3.1 bounds the cost of the similarity
+functions; these micro-benchmarks measure the actual kernels (structural
+path similarity, TCU cosine, combined item similarity, transactional
+sim^gamma_J, local representative computation) on realistic inputs drawn from
+the synthetic DBLP corpus, so regressions in the hot paths are visible in the
+pytest-benchmark history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.representatives import compute_local_representative
+from repro.datasets.registry import get_dataset
+from repro.similarity.cache import TagPathSimilarityCache
+from repro.similarity.item import SimilarityConfig
+from repro.similarity.structural import tag_path_similarity
+from repro.similarity.transaction import SimilarityEngine
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return get_dataset("DBLP", scale=0.35, seed=0)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SimilarityEngine(SimilarityConfig(f=0.5, gamma=0.8), cache=TagPathSimilarityCache())
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_tag_path_similarity(benchmark):
+    p = ("dblp", "inproceedings", "author")
+    q = ("dblp", "article", "author")
+    result = benchmark(tag_path_similarity, p, q)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_tcu_cosine(benchmark, dblp):
+    items = [item for tr in dblp.transactions[:20] for item in tr.items if item.vector]
+    u, v = items[0].vector, items[1].vector
+    benchmark(u.cosine, v)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_item_similarity(benchmark, dblp, engine):
+    items = [item for tr in dblp.transactions[:20] for item in tr.items]
+    a, b = items[0], items[7]
+    result = benchmark(engine.item_similarity, a, b)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_transaction_similarity(benchmark, dblp, engine):
+    tr1, tr2 = dblp.transactions[0], dblp.transactions[1]
+    result = benchmark(engine.transaction_similarity, tr1, tr2)
+    assert 0.0 <= result <= 1.0
+
+    # sanity on the complexity claim: the kernel touches every item pair, so
+    # its cost is O(|tr1| * |tr2|) item similarities -- keep the sizes visible
+    # in the benchmark metadata.
+    benchmark.extra_info["items_tr1"] = len(tr1)
+    benchmark.extra_info["items_tr2"] = len(tr2)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_local_representative(benchmark, dblp, engine):
+    cluster = dblp.transactions[:12]
+    representative = benchmark(compute_local_representative, cluster, engine)
+    assert len(representative) > 0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_tag_path_cache_effect(benchmark, dblp):
+    """The precomputed tag-path cache must make repeated lookups cheap."""
+    cache = TagPathSimilarityCache()
+    tag_paths = {item.tag_path for tr in dblp.transactions for item in tr.items}
+    cache.precompute(tag_paths)
+    paths = sorted(tag_paths)[:10]
+
+    def lookup_all():
+        total = 0.0
+        for p in paths:
+            for q in paths:
+                total += cache.similarity(p, q)
+        return total
+
+    total = benchmark(lookup_all)
+    assert total > 0.0
+    assert cache.misses == 0  # everything was precomputed

@@ -1,0 +1,87 @@
+"""Benchmarks E2-E4 -- Tables 1(a)-(c): accuracy vs. nodes, equal partitioning.
+
+Regenerates the three accuracy sub-tables (content-, structure/content- and
+structure-driven clustering) for the four synthetic corpora and checks the
+paper's qualitative claims: the centralized case is the best configuration,
+accuracy decreases (on average) as peers are added, and the loss at the
+saturation-point node counts stays bounded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import AccuracyTableConfig, run_table1
+
+#: Paper-reported F-measure at the centralized case (Table 1), used in the
+#: printed paper-vs-measured comparison (not asserted: our corpora are
+#: synthetic re-creations, so only the ordering/shape is checked).
+PAPER_CENTRALIZED_F = {
+    "content": {"DBLP": 0.795, "IEEE": 0.629, "Shakespeare": 0.964, "Wikipedia": 0.834},
+    "hybrid": {"DBLP": 0.803, "IEEE": 0.598, "Shakespeare": 0.772},
+    "structure": {"DBLP": 0.991, "IEEE": 0.655, "Shakespeare": 0.681},
+}
+
+
+#: One representative f value per clustering goal (the paper averages over
+#: the whole range; a single mid-range value keeps the harness fast while the
+#: full grid remains available through AccuracyTableConfig.f_values).
+GOAL_BENCH_F = {"content": (0.2,), "hybrid": (0.5,), "structure": (0.9,)}
+
+
+def _run_goal(goal: str, bench_profile) -> AccuracyTableConfig:
+    return AccuracyTableConfig(
+        goals=(goal,),
+        node_counts=bench_profile["node_counts"],
+        gamma=bench_profile["gamma"],
+        scale=bench_profile["scale"],
+        max_iterations=bench_profile["max_iterations"],
+        cost_model=bench_profile["cost_model"],
+        f_values=GOAL_BENCH_F[goal],
+    )
+
+
+def _check_shapes(result, goal: str) -> None:
+    for dataset, series in result.tables[goal].items():
+        nodes = sorted(series)
+        centralized = series[1]
+        distributed_best = max(series[m] for m in nodes if m > 1)
+        distributed_worst = min(series[m] for m in nodes if m > 1)
+        # centralized is (close to) the upper bound
+        assert centralized >= distributed_worst - 0.05, (
+            f"{goal}/{dataset}: centralized case should be near the upper bound"
+        )
+        # accuracy never collapses to zero in the paper's node range
+        assert distributed_worst > 0.15, f"{goal}/{dataset}: accuracy collapsed"
+        # overall downward trend: the largest network is not better than the
+        # centralized case by more than noise
+        assert series[nodes[-1]] <= centralized + 0.1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1a_content_driven(benchmark, bench_profile):
+    result = run_once(benchmark, run_table1, _run_goal("content", bench_profile))
+    print()
+    print(result.report(table_number=1))
+    _check_shapes(result, "content")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1b_structure_content_driven(benchmark, bench_profile):
+    result = run_once(benchmark, run_table1, _run_goal("hybrid", bench_profile))
+    print()
+    print(result.report(table_number=1))
+    _check_shapes(result, "hybrid")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1c_structure_driven(benchmark, bench_profile):
+    result = run_once(benchmark, run_table1, _run_goal("structure", bench_profile))
+    print()
+    print(result.report(table_number=1))
+    _check_shapes(result, "structure")
+    # paper: structure-driven DBLP is the easiest setting (F ~ 0.99 at m=1);
+    # the synthetic corpus keeps the four record layouts well separated, so
+    # the centralized F must be high.
+    assert result.tables["structure"]["DBLP"][1] >= 0.7

@@ -1,0 +1,72 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Because the
+full sweeps take minutes, the default *benchmark profile* runs a reduced but
+faithful version (smaller corpus scale, the paper's node counts up to 9, a
+single f value per goal, a bounded number of collaborative rounds); the
+environment variables below let users dial fidelity up or down:
+
+* ``REPRO_BENCH_SCALE``    -- corpus scale factor (default 0.35)
+* ``REPRO_BENCH_MAX_NODES``-- largest node count in the sweeps (default 9)
+* ``REPRO_BENCH_ITERATIONS`` -- collaborative-round cap (default 4)
+
+Each benchmark prints the reproduced table / series to stdout (run pytest
+with ``-s`` to see them) and asserts the qualitative *shape* reported by the
+paper; absolute numbers are hardware- and scale-dependent by design.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.network.costmodel import CostModel
+
+#: Corpus scale used by the benchmarks.
+BENCH_SCALE: float = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+#: Largest node count in the node sweeps.
+BENCH_MAX_NODES: int = int(os.environ.get("REPRO_BENCH_MAX_NODES", "9"))
+#: Cap on collaborative rounds.
+BENCH_ITERATIONS: int = int(os.environ.get("REPRO_BENCH_ITERATIONS", "4"))
+#: Gamma threshold used across the harness (the paper's best settings are
+#: around 0.85; the reduced-scale corpora behave better at 0.8).
+BENCH_GAMMA: float = float(os.environ.get("REPRO_BENCH_GAMMA", "0.8"))
+
+
+def node_sweep() -> List[int]:
+    """Return the node counts swept by the benchmarks (1, 3, 5, ... max)."""
+    return [n for n in range(1, BENCH_MAX_NODES + 1, 2)]
+
+
+def bench_cost_model() -> CostModel:
+    """Cost model used by the simulated network during the benchmarks.
+
+    The per-transaction transfer cost is scaled so the ratio between the
+    (pure-Python) computation speed and the modelled GigaBit network mirrors
+    the paper's testbed: compute dominates for few peers, communication
+    becomes visible near the saturation point.
+    """
+    return CostModel(t_comm=1.5e-3, unit_comm=1.0e-5)
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> dict:
+    """Expose the benchmark profile to the individual benchmarks."""
+    return {
+        "scale": BENCH_SCALE,
+        "node_counts": tuple(node_sweep()),
+        "max_iterations": BENCH_ITERATIONS,
+        "gamma": BENCH_GAMMA,
+        "cost_model": bench_cost_model(),
+    }
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run *function* exactly once under pytest-benchmark.
+
+    The experiment sweeps are long-running and deterministic, so a single
+    round is both sufficient and necessary to keep the harness usable.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment ships an older setuptools without the ``wheel``
+package, so PEP 660 editable installs are unavailable; this ``setup.py``
+keeps ``pip install -e .`` working through the legacy develop path.
+Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

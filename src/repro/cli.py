@@ -1,0 +1,236 @@
+"""Command line interface for the CXK-means reproduction.
+
+The ``cxk`` console script exposes the main workflows:
+
+* ``cxk cluster`` -- cluster an XML directory (or a synthetic corpus) with
+  CXK-means / PK-means / XK-means and print the resulting clusters;
+* ``cxk figure7`` / ``cxk table1`` / ``cxk table2`` / ``cxk figure8`` --
+  regenerate the paper's tables and figures as text reports;
+* ``cxk datasets`` -- print the profile of the synthetic corpora.
+
+Every experiment command accepts ``--scale`` so users can trade fidelity for
+runtime; the defaults keep each command within a few minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+from typing import List, Optional
+
+from repro.core.config import ClusteringConfig
+from repro.core.partition import PartitioningScheme, partition
+from repro.datasets.registry import DATASET_NAMES, get_corpus, get_dataset
+from repro.evaluation.fmeasure import overall_f_measure
+from repro.evaluation.reporting import format_table
+from repro.experiments.figure7 import Figure7Config, run_figure7
+from repro.experiments.figure8 import Figure8Config, run_figure8
+from repro.experiments.runner import make_algorithm
+from repro.experiments.table1 import AccuracyTableConfig, run_table1
+from repro.experiments.table2 import run_table2
+from repro.similarity.item import SimilarityConfig
+from repro.transactions.builder import build_dataset
+from repro.xmlmodel.parser import parse_xml_file
+
+
+def _add_common_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5, help="corpus scale factor")
+    parser.add_argument("--gamma", type=float, default=0.85, help="gamma threshold")
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        nargs="+",
+        default=[1, 3, 5, 7, 9],
+        help="node counts to sweep",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--max-iterations", type=int, default=6, help="maximum collaborative rounds"
+    )
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in DATASET_NAMES:
+        corpus = get_corpus(name, scale=args.scale, seed=args.seed)
+        dataset = corpus.to_dataset()
+        summary = dataset.summary()
+        rows.append(
+            [
+                name,
+                corpus.document_count(),
+                summary["transactions"],
+                summary["distinct_items"],
+                summary["vocabulary"],
+                corpus.class_counts.get("content", ""),
+                corpus.class_counts.get("structure", ""),
+                corpus.class_counts.get("hybrid", ""),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "corpus",
+                "documents",
+                "transactions",
+                "items",
+                "vocabulary",
+                "content classes",
+                "structure classes",
+                "hybrid classes",
+            ],
+            rows,
+            title=f"Synthetic corpora (scale={args.scale})",
+        )
+    )
+    return 0
+
+
+def _load_xml_directory(path: str) -> List:
+    files = sorted(glob.glob(os.path.join(path, "**", "*.xml"), recursive=True))
+    if not files:
+        raise SystemExit(f"no .xml files found under {path}")
+    return [parse_xml_file(file) for file in files]
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    if args.xml_dir:
+        trees = _load_xml_directory(args.xml_dir)
+        dataset = build_dataset(os.path.basename(args.xml_dir.rstrip("/")), trees)
+        reference = None
+    else:
+        dataset = get_dataset(args.corpus, scale=args.scale, seed=args.seed)
+        reference = dataset.labels_for(args.goal) if args.goal in dataset.labelings else None
+
+    k = args.k or (len(set(reference.values())) if reference else 4)
+    config = ClusteringConfig(
+        k=k,
+        similarity=SimilarityConfig(f=args.f, gamma=args.gamma),
+        seed=args.seed,
+        max_iterations=args.max_iterations,
+    )
+    algorithm = make_algorithm(args.algorithm, config)
+    if args.algorithm.lower().startswith("xk"):
+        result = algorithm.fit(dataset.transactions)
+    else:
+        scheme = PartitioningScheme(args.partitioning)
+        parts = partition(dataset.transactions, args.peers, scheme, seed=args.seed)
+        result = algorithm.fit(parts)
+
+    print(f"algorithm : {result.metadata.get('algorithm')}")
+    print(f"clusters  : {result.k}  (trash: {result.trash_size()} transactions)")
+    print(f"iterations: {result.iterations} (converged: {result.converged})")
+    print(f"elapsed   : {result.elapsed_seconds:.2f}s")
+    if result.simulated_seconds is not None:
+        print(f"simulated : {result.simulated_seconds:.2f}s over {args.peers} peers")
+    if reference is not None:
+        print(f"F-measure : {overall_f_measure(result.partition(), reference):.3f}")
+    rows = [
+        [cluster.cluster_id, cluster.size(), ", ".join(cluster.member_ids()[:4]) + ("..." if cluster.size() > 4 else "")]
+        for cluster in result.clusters
+    ]
+    print(format_table(["cluster", "size", "sample members"], rows))
+    return 0
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    config = Figure7Config(
+        node_counts=tuple(args.nodes),
+        scales=(args.scale, args.scale / 2.0),
+        gamma=args.gamma,
+        seeds=(args.seed,),
+        max_iterations=args.max_iterations,
+    )
+    print(run_figure7(config).report())
+    return 0
+
+
+def _cmd_figure8(args: argparse.Namespace) -> int:
+    config = Figure8Config(
+        node_counts=tuple(args.nodes),
+        scale=args.scale,
+        gamma=args.gamma,
+        seeds=(args.seed,),
+        max_iterations=args.max_iterations,
+    )
+    print(run_figure8(config).report())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace, table_number: int) -> int:
+    config = AccuracyTableConfig(
+        node_counts=tuple(args.nodes),
+        gamma=args.gamma,
+        scale=args.scale,
+        seeds=(args.seed,),
+        max_iterations=args.max_iterations,
+        goals=tuple(args.goals),
+    )
+    if table_number == 1:
+        result = run_table1(config)
+    else:
+        result = run_table2(config)
+    print(result.report(table_number=table_number))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cxk",
+        description="Collaborative clustering of XML documents (CXK-means) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser("datasets", help="describe the synthetic corpora")
+    datasets_parser.add_argument("--scale", type=float, default=0.5)
+    datasets_parser.add_argument("--seed", type=int, default=0)
+    datasets_parser.set_defaults(handler=_cmd_datasets)
+
+    cluster_parser = subparsers.add_parser("cluster", help="cluster XML documents")
+    cluster_parser.add_argument("--corpus", default="DBLP", help="synthetic corpus name")
+    cluster_parser.add_argument("--xml-dir", default=None, help="directory of .xml files to cluster instead")
+    cluster_parser.add_argument("--algorithm", default="cxk", choices=["cxk", "pk", "xk"])
+    cluster_parser.add_argument("--goal", default="hybrid", choices=["content", "hybrid", "structure"])
+    cluster_parser.add_argument("--k", type=int, default=None, help="number of clusters")
+    cluster_parser.add_argument("--peers", type=int, default=3, help="number of peers")
+    cluster_parser.add_argument("--partitioning", default="equal", choices=["equal", "unequal"])
+    cluster_parser.add_argument("--f", type=float, default=0.5, help="structure/content blend factor")
+    cluster_parser.add_argument("--gamma", type=float, default=0.85)
+    cluster_parser.add_argument("--scale", type=float, default=0.5)
+    cluster_parser.add_argument("--seed", type=int, default=0)
+    cluster_parser.add_argument("--max-iterations", type=int, default=6)
+    cluster_parser.set_defaults(handler=_cmd_cluster)
+
+    figure7_parser = subparsers.add_parser("figure7", help="reproduce Figure 7")
+    _add_common_experiment_arguments(figure7_parser)
+    figure7_parser.set_defaults(handler=_cmd_figure7)
+
+    figure8_parser = subparsers.add_parser("figure8", help="reproduce Figure 8")
+    _add_common_experiment_arguments(figure8_parser)
+    figure8_parser.set_defaults(handler=_cmd_figure8)
+
+    for number in (1, 2):
+        table_parser = subparsers.add_parser(f"table{number}", help=f"reproduce Table {number}")
+        _add_common_experiment_arguments(table_parser)
+        table_parser.add_argument(
+            "--goals",
+            nargs="+",
+            default=["content", "hybrid", "structure"],
+            choices=["content", "hybrid", "structure"],
+        )
+        table_parser.set_defaults(handler=lambda args, n=number: _cmd_table(args, n))
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``cxk`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

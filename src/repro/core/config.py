@@ -1,0 +1,88 @@
+"""Configuration objects for the clustering algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.similarity.item import SimilarityConfig
+
+
+@dataclass(frozen=True)
+class ClusteringConfig:
+    """Configuration shared by XK-means, CXK-means and PK-means.
+
+    Attributes
+    ----------
+    k:
+        Desired number of clusters; the algorithms additionally maintain a
+        (k+1)-th *trash* cluster for transactions with zero similarity to
+        every representative.
+    similarity:
+        The :class:`~repro.similarity.item.SimilarityConfig` (blend factor
+        ``f`` and gamma threshold) driving item and transaction similarity.
+    max_iterations:
+        Upper bound on the number of outer iterations; the paper observes
+        convergence in fewer than 10 iterations on all corpora, the default
+        bound is a safety net rather than a tuning knob.
+    seed:
+        Seed of the pseudo-random generator used for selecting the initial
+        representatives (reproducibility of experiments).
+    max_representative_items:
+        Optional cap on the number of items a representative may contain, in
+        addition to the ``|tr_max|`` bound imposed by GenerateTreeTuple.
+    """
+
+    k: int
+    similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
+    max_iterations: int = 20
+    seed: int = 0
+    max_representative_items: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be positive, got {self.max_iterations}"
+            )
+
+    @property
+    def f(self) -> float:
+        """Shortcut for the structure/content blend factor."""
+        return self.similarity.f
+
+    @property
+    def gamma(self) -> float:
+        """Shortcut for the gamma matching threshold."""
+        return self.similarity.gamma
+
+    def with_k(self, k: int) -> "ClusteringConfig":
+        """Return a copy of the configuration with a different ``k``."""
+        return ClusteringConfig(
+            k=k,
+            similarity=self.similarity,
+            max_iterations=self.max_iterations,
+            seed=self.seed,
+            max_representative_items=self.max_representative_items,
+        )
+
+    def with_similarity(self, similarity: SimilarityConfig) -> "ClusteringConfig":
+        """Return a copy with a different similarity configuration."""
+        return ClusteringConfig(
+            k=self.k,
+            similarity=similarity,
+            max_iterations=self.max_iterations,
+            seed=self.seed,
+            max_representative_items=self.max_representative_items,
+        )
+
+    def with_seed(self, seed: int) -> "ClusteringConfig":
+        """Return a copy with a different random seed."""
+        return ClusteringConfig(
+            k=self.k,
+            similarity=self.similarity,
+            max_iterations=self.max_iterations,
+            seed=seed,
+            max_representative_items=self.max_representative_items,
+        )

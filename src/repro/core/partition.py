@@ -1,0 +1,107 @@
+"""Partitioning of the transaction set over the peers of the network.
+
+The paper's experiments use two partitioning scenarios (Sec. 5.1):
+
+* **equal** -- the set ``S`` is equally distributed over the ``m`` nodes,
+  i.e. ``|S_i| = |S| / m`` for every node;
+* **unequal** -- half of the nodes hold twice as much data as the other half
+  (``4|S|/3m`` transactions for the first ``m/2`` nodes and ``2|S|/3m`` for
+  the remaining ones).
+
+Both partitioners shuffle the transactions with a seeded RNG so the
+assignment of transactions to peers is random but reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import List, Sequence
+
+from repro.transactions.transaction import Transaction
+
+
+class PartitioningScheme(Enum):
+    """The two data-distribution scenarios evaluated by the paper."""
+
+    EQUAL = "equal"
+    UNEQUAL = "unequal"
+
+
+def _shuffled(transactions: Sequence[Transaction], seed: int) -> List[Transaction]:
+    shuffled = list(transactions)
+    random.Random(seed).shuffle(shuffled)
+    return shuffled
+
+
+def partition_equally(
+    transactions: Sequence[Transaction], nodes: int, seed: int = 0
+) -> List[List[Transaction]]:
+    """Split *transactions* into *nodes* chunks of (almost) equal size.
+
+    Sizes differ by at most one transaction; every chunk is non-empty as long
+    as ``len(transactions) >= nodes``.
+    """
+    if nodes < 1:
+        raise ValueError(f"nodes must be positive, got {nodes}")
+    shuffled = _shuffled(transactions, seed)
+    chunks: List[List[Transaction]] = [[] for _ in range(nodes)]
+    for index, transaction in enumerate(shuffled):
+        chunks[index % nodes].append(transaction)
+    return chunks
+
+
+def partition_unequally(
+    transactions: Sequence[Transaction], nodes: int, seed: int = 0
+) -> List[List[Transaction]]:
+    """Split *transactions* following the paper's unequal scenario.
+
+    The first ``ceil(nodes/2)`` peers each receive a share proportional to
+    ``4/(3m)`` of the data and the remaining peers a share proportional to
+    ``2/(3m)`` -- i.e. the "heavy" peers store twice as many transactions as
+    the "light" ones.  With ``nodes == 1`` the single peer receives all data.
+    """
+    if nodes < 1:
+        raise ValueError(f"nodes must be positive, got {nodes}")
+    shuffled = _shuffled(transactions, seed)
+    if nodes == 1:
+        return [shuffled]
+
+    heavy_nodes = (nodes + 1) // 2
+    light_nodes = nodes - heavy_nodes
+    # weight 2 for heavy peers, weight 1 for light peers
+    total_weight = 2 * heavy_nodes + light_nodes
+    total = len(shuffled)
+
+    sizes: List[int] = []
+    for index in range(nodes):
+        weight = 2 if index < heavy_nodes else 1
+        sizes.append((total * weight) // total_weight)
+    # distribute the remainder one transaction at a time, heavy peers first
+    remainder = total - sum(sizes)
+    index = 0
+    while remainder > 0:
+        sizes[index % nodes] += 1
+        remainder -= 1
+        index += 1
+
+    chunks: List[List[Transaction]] = []
+    cursor = 0
+    for size in sizes:
+        chunks.append(shuffled[cursor:cursor + size])
+        cursor += size
+    return chunks
+
+
+def partition(
+    transactions: Sequence[Transaction],
+    nodes: int,
+    scheme: PartitioningScheme = PartitioningScheme.EQUAL,
+    seed: int = 0,
+) -> List[List[Transaction]]:
+    """Partition *transactions* over *nodes* peers following *scheme*."""
+    if scheme is PartitioningScheme.EQUAL:
+        return partition_equally(transactions, nodes, seed=seed)
+    if scheme is PartitioningScheme.UNEQUAL:
+        return partition_unequally(transactions, nodes, seed=seed)
+    raise ValueError(f"unknown partitioning scheme: {scheme}")

@@ -1,0 +1,342 @@
+"""Cluster representative computation (paper Fig. 6).
+
+This module implements the three functions that make up the summarisation
+machinery of CXK-means:
+
+* ``conflateItems`` -- merges a set of items into one synthetic item per
+  distinct path, unioning the textual contents;
+* ``ComputeLocalRepresentative`` -- ranks the items of a cluster by a blend
+  of structural and content ranking and greedily assembles a representative
+  transaction (through ``GenerateTreeTuple``);
+* ``ComputeGlobalRepresentative`` -- the same procedure applied to the
+  *local representatives* received from all peers, each weighted by the size
+  of the local cluster it summarises.
+
+Representative transactions are "tree tuples" in the sense that they contain
+at most one item per distinct path; they are synthetic objects that never
+join the item domain.
+
+Implementation note on ``GenerateTreeTuple``: the paper's pseudocode returns
+the representative of the *previous* refinement step when the loop exits
+because the item list is exhausted, which would discard an improving final
+step.  This implementation keeps the best-scoring representative seen during
+the refinement (a strictly-not-worse variant of the same greedy heuristic);
+the behaviour difference is covered by a unit test documenting the choice.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.similarity.transaction import SimilarityEngine
+from repro.text.vector import SparseVector, merge_vectors
+from repro.transactions.items import TreeTupleItem, make_synthetic_item
+from repro.transactions.transaction import Transaction, make_transaction
+from repro.xmlmodel.paths import XMLPath
+
+
+# --------------------------------------------------------------------------- #
+# conflateItems
+# --------------------------------------------------------------------------- #
+def conflate_items(items: Iterable[TreeTupleItem]) -> List[TreeTupleItem]:
+    """Merge *items* into one synthetic item per distinct complete path.
+
+    The content associated to each path is the union of the contents of the
+    merged items: answers are joined (distinct answers, first-seen order),
+    term sequences are concatenated and TCU vectors are summed.  The output
+    is sorted by path so representatives are deterministic.
+    """
+    by_path: Dict[XMLPath, List[TreeTupleItem]] = defaultdict(list)
+    for item in items:
+        by_path[item.path].append(item)
+
+    conflated: List[TreeTupleItem] = []
+    for path in sorted(by_path.keys()):
+        group = by_path[path]
+        if len(group) == 1:
+            original = group[0]
+            conflated.append(
+                make_synthetic_item(
+                    path=path,
+                    answer=original.answer,
+                    terms=original.terms,
+                    vector=original.vector,
+                )
+            )
+            continue
+        answers: List[str] = []
+        seen = set()
+        terms: List[str] = []
+        vectors: List[SparseVector] = []
+        for item in group:
+            if item.answer not in seen:
+                seen.add(item.answer)
+                answers.append(item.answer)
+            terms.extend(item.terms)
+            vectors.append(item.vector)
+        conflated.append(
+            make_synthetic_item(
+                path=path,
+                answer=" | ".join(answers),
+                terms=terms,
+                vector=merge_vectors(vectors),
+            )
+        )
+    return conflated
+
+
+# --------------------------------------------------------------------------- #
+# Item ranking
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RankedItem:
+    """An item together with its rank and an optional weight (global case)."""
+
+    item: TreeTupleItem
+    rank: float
+    weight: float = 1.0
+
+
+def _path_frequencies(items: Sequence[TreeTupleItem]) -> Dict[XMLPath, int]:
+    """Return ``P_C``: the number of items carrying each distinct path."""
+    frequencies: Dict[XMLPath, int] = defaultdict(int)
+    for item in items:
+        frequencies[item.path] += 1
+    return dict(frequencies)
+
+
+def structural_rank(
+    item: TreeTupleItem,
+    items: Sequence[TreeTupleItem],
+    path_frequencies: Dict[XMLPath, int],
+    engine: SimilarityEngine,
+) -> float:
+    """``rank_S(e)``: structural ranking of *item* within the item pool.
+
+    Sums, over the distinct paths ``p'`` whose items are structurally
+    gamma-similar to *item*, the number of items carrying ``p'``; the sum is
+    normalised by the number of distinct paths.  Structural similarity
+    between items only depends on their tag paths, so the computation is
+    performed per distinct path using the shared tag-path cache (this is the
+    optimisation suggested by the paper's complexity analysis).
+    """
+    if not path_frequencies:
+        return 0.0
+    gamma = engine.config.gamma
+    total = 0.0
+    for path, count in path_frequencies.items():
+        similarity = engine.cache.similarity(item.tag_path, path.tag_path())
+        if similarity >= gamma:
+            total += count
+    return total / len(path_frequencies)
+
+
+def content_rank(item: TreeTupleItem, items: Sequence[TreeTupleItem]) -> float:
+    """``rank_C(e)``: sum of cosine similarities of *item* to every item."""
+    vector = item.vector
+    if not vector:
+        return 0.0
+    return sum(vector.cosine(other.vector) for other in items)
+
+
+def rank_items(
+    items: Sequence[TreeTupleItem],
+    engine: SimilarityEngine,
+    weights: Optional[Dict[TreeTupleItem, float]] = None,
+) -> List[RankedItem]:
+    """Rank *items* by the blended structural/content ranking (Fig. 6).
+
+    Parameters
+    ----------
+    items:
+        The item pool ``I_C`` (local case) or ``I_T[1]`` (global case).
+    engine:
+        Similarity engine providing ``f``, ``gamma`` and the tag-path cache.
+    weights:
+        Optional per-item weights ``w``; when provided the final rank is
+        multiplied by the weight, as done by ComputeGlobalRepresentative.
+
+    Returns
+    -------
+    list of :class:`RankedItem`
+        Sorted by decreasing rank; ties are broken by path then answer so the
+        ordering is deterministic.
+    """
+    item_list = list(items)
+    frequencies = _path_frequencies(item_list)
+    f = engine.config.f
+    ranked: List[RankedItem] = []
+    for item in item_list:
+        rank_s = structural_rank(item, item_list, frequencies, engine)
+        rank_c = content_rank(item, item_list)
+        rank = f * rank_s + (1.0 - f) * rank_c
+        weight = 1.0
+        if weights is not None:
+            weight = weights.get(item, 1.0)
+            rank *= weight
+        ranked.append(RankedItem(item=item, rank=rank, weight=weight))
+    ranked.sort(key=lambda entry: (-entry.rank, entry.item.path, entry.item.answer))
+    return ranked
+
+
+# --------------------------------------------------------------------------- #
+# GenerateTreeTuple
+# --------------------------------------------------------------------------- #
+def generate_tree_tuple(
+    ranked_items: Sequence[RankedItem],
+    cluster: Sequence[Transaction],
+    engine: SimilarityEngine,
+    representative_id: str = "rep",
+    max_items: Optional[int] = None,
+) -> Transaction:
+    """Greedy assembly of a representative transaction (Fig. 6, GenerateTreeTuple).
+
+    Items are consumed in batches of equal (highest) rank; after conflation
+    the candidate representative is scored by the sum of its
+    ``sim^gamma_J`` similarities to the cluster members, and refinement
+    stops when the score stops improving, the representative grows beyond
+    the longest member transaction, or the items are exhausted.
+    """
+    if not cluster:
+        return make_transaction(representative_id, [], sort_items=True)
+
+    max_member_length = max(len(transaction) for transaction in cluster)
+    if max_items is not None:
+        max_member_length = min(max_member_length, max_items)
+
+    remaining: List[RankedItem] = list(ranked_items)
+    best_items: List[TreeTupleItem] = []
+    best_score = 0.0
+    current_items: List[TreeTupleItem] = []
+
+    def score_of(items: Sequence[TreeTupleItem]) -> float:
+        candidate = make_transaction(representative_id, items, sort_items=True)
+        return sum(
+            engine.transaction_similarity(transaction, candidate)
+            for transaction in cluster
+        )
+
+    while remaining:
+        top_rank = remaining[0].rank
+        batch = [entry.item for entry in remaining if entry.rank == top_rank]
+        remaining = [entry for entry in remaining if entry.rank != top_rank]
+
+        candidate_items = conflate_items(current_items + batch)
+        if len(candidate_items) > max_member_length:
+            if current_items:
+                break
+            # First batch already exceeds the length bound: add its items one
+            # by one (in rank order) until the bound is reached, so the
+            # representative never grows beyond the longest member.
+            trimmed: List[TreeTupleItem] = []
+            for candidate in batch:
+                extended = conflate_items(trimmed + [candidate])
+                if len(extended) > max_member_length:
+                    break
+                trimmed = extended
+            candidate_items = trimmed
+        candidate_score = score_of(candidate_items)
+        if candidate_score < best_score:
+            break
+        current_items = candidate_items
+        if candidate_score >= best_score:
+            best_score = candidate_score
+            best_items = candidate_items
+        if len(current_items) >= max_member_length:
+            break
+
+    return make_transaction(representative_id, best_items, sort_items=True)
+
+
+# --------------------------------------------------------------------------- #
+# ComputeLocalRepresentative / ComputeGlobalRepresentative
+# --------------------------------------------------------------------------- #
+def compute_local_representative(
+    cluster: Sequence[Transaction],
+    engine: SimilarityEngine,
+    representative_id: str = "rep:local",
+    max_items: Optional[int] = None,
+) -> Transaction:
+    """``ComputeLocalRepresentative(C)``: summarise a local cluster.
+
+    Collects the items of every member transaction, ranks them by the blended
+    structural/content ranking and assembles the representative through
+    :func:`generate_tree_tuple`.  An empty cluster yields an empty
+    representative transaction.
+    """
+    items: List[TreeTupleItem] = []
+    for transaction in cluster:
+        items.extend(transaction.items)
+    if not items:
+        return make_transaction(representative_id, [], sort_items=True)
+    ranked = rank_items(items, engine)
+    return generate_tree_tuple(
+        ranked, cluster, engine, representative_id=representative_id, max_items=max_items
+    )
+
+
+def compute_global_representative(
+    weighted_locals: Sequence[Tuple[Transaction, int]],
+    engine: SimilarityEngine,
+    representative_id: str = "rep:global",
+    max_items: Optional[int] = None,
+) -> Transaction:
+    """``ComputeGlobalRepresentative(T)``: merge local representatives.
+
+    Parameters
+    ----------
+    weighted_locals:
+        Pairs ``(local representative, |C^i_j|)`` received from every peer;
+        representatives of empty local clusters (weight 0 or no items) are
+        ignored.
+    engine:
+        Similarity engine (provides ``f``, ``gamma`` and the tag-path cache).
+    representative_id:
+        Identifier given to the resulting representative transaction.
+
+    The item pool is the union of the items of the local representatives;
+    each item is weighted by the total size of the local clusters whose
+    representative contains it, and the weight multiplies the blended rank --
+    peers that summarise more transactions therefore contribute more to the
+    global representative.
+    """
+    filtered = [
+        (transaction, weight)
+        for transaction, weight in weighted_locals
+        if weight > 0 and len(transaction) > 0
+    ]
+    if not filtered:
+        return make_transaction(representative_id, [], sort_items=True)
+
+    item_weights: Dict[TreeTupleItem, float] = defaultdict(float)
+    items: List[TreeTupleItem] = []
+    for transaction, weight in filtered:
+        for item in transaction.items:
+            if item not in item_weights:
+                items.append(item)
+            item_weights[item] += float(weight)
+
+    ranked = rank_items(items, engine, weights=dict(item_weights))
+    local_transactions = [transaction for transaction, _ in filtered]
+    return generate_tree_tuple(
+        ranked,
+        local_transactions,
+        engine,
+        representative_id=representative_id,
+        max_items=max_items,
+    )
+
+
+def representatives_equal(first: Optional[Transaction], second: Optional[Transaction]) -> bool:
+    """Return True when two representatives carry the same item content.
+
+    Representatives are synthetic transactions, so equality is defined on the
+    multiset of (path, answer) pairs rather than on object identity.
+    """
+    if first is None or second is None:
+        return first is second
+    key_first = sorted((str(item.path), item.answer) for item in first.items)
+    key_second = sorted((str(item.path), item.answer) for item in second.items)
+    return key_first == key_second

@@ -1,0 +1,84 @@
+"""Selection of the initial cluster representatives.
+
+CXK-means (Fig. 5) seeds every node's share of the global representatives by
+"selecting q_i transactions from S_i coming from distinct original trees";
+the centralized XK-means does the same for all k clusters.  Selecting seeds
+from distinct documents maximises the initial diversity of the clusters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.transactions.transaction import Transaction
+
+
+def select_seed_transactions(
+    transactions: Sequence[Transaction],
+    count: int,
+    rng: random.Random,
+) -> List[Transaction]:
+    """Select *count* seed transactions, preferring distinct source documents.
+
+    The selection first draws (at most) one transaction per distinct
+    ``doc_id`` in random order; if the number of distinct documents is
+    smaller than *count*, the remaining seeds are drawn uniformly from the
+    unused transactions.  Raises ``ValueError`` when fewer transactions than
+    *count* are available.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return []
+    if len(transactions) < count:
+        raise ValueError(
+            f"cannot select {count} seeds from {len(transactions)} transactions"
+        )
+
+    by_doc: Dict[str, List[Transaction]] = {}
+    for transaction in transactions:
+        by_doc.setdefault(transaction.doc_id, []).append(transaction)
+
+    doc_ids = list(by_doc.keys())
+    rng.shuffle(doc_ids)
+
+    seeds: List[Transaction] = []
+    used_ids = set()
+    for doc_id in doc_ids:
+        if len(seeds) >= count:
+            break
+        candidates = by_doc[doc_id]
+        choice = rng.choice(candidates)
+        seeds.append(choice)
+        used_ids.add(choice.transaction_id)
+
+    if len(seeds) < count:
+        remaining = [
+            transaction
+            for transaction in transactions
+            if transaction.transaction_id not in used_ids
+        ]
+        rng.shuffle(remaining)
+        seeds.extend(remaining[: count - len(seeds)])
+
+    return seeds
+
+
+def partition_cluster_ids(k: int, m: int) -> List[List[int]]:
+    """Partition the cluster identifiers ``{0, ..., k-1}`` into ``m`` subsets.
+
+    This is the startup operation performed by node ``N0`` in CXK-means: the
+    ``i``-th subset ``Z_i`` lists the clusters whose *global* representative
+    node ``N_i`` is responsible for.  The partition is round-robin so
+    responsibilities stay balanced (``|Z_i|`` is ``ceil(k/m)`` or
+    ``floor(k/m)``); nodes beyond ``k`` receive empty subsets.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if m < 1:
+        raise ValueError(f"m must be positive, got {m}")
+    subsets: List[List[int]] = [[] for _ in range(m)]
+    for cluster_id in range(k):
+        subsets[cluster_id % m].append(cluster_id)
+    return subsets

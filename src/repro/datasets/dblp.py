@@ -1,0 +1,163 @@
+"""Synthetic DBLP-like bibliographic corpus.
+
+The real DBLP subset used by the paper contains 3000 bibliographic records
+spanning four structural categories (``article``, ``inproceedings``,
+``book``, ``incollection``), six topical classes and sixteen hybrid
+(structure + content) classes, yielding 5884 transactions.  This generator
+reproduces that profile at a configurable scale: each document is one
+bibliographic record whose element layout depends on its structural category
+and whose text fields are flavoured by its topical class.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.datasets.generator import SyntheticCorpus, TextSampler, spread_classes
+from repro.xmlmodel.tree import XMLTree, XMLTreeBuilder
+
+#: The six DBLP topical classes used by the paper (Sec. 5.2).
+DBLP_TOPICS: List[str] = [
+    "multimedia",
+    "logic_programming",
+    "web_adaptive",
+    "knowledge_systems",
+    "software_engineering",
+    "formal_languages",
+]
+
+#: The four structural categories of the paper's DBLP subset.
+DBLP_CATEGORIES: List[str] = ["article", "inproceedings", "book", "incollection"]
+
+#: Hybrid (structure, topic) combinations; exactly sixteen classes as in the
+#: paper: articles and conference papers span every topic, books and book
+#: chapters are limited to two topics each.
+DBLP_HYBRID_COMBOS: List[Tuple[str, str]] = (
+    [("article", topic) for topic in DBLP_TOPICS]
+    + [("inproceedings", topic) for topic in DBLP_TOPICS]
+    + [("book", "software_engineering"), ("book", "formal_languages")]
+    + [("incollection", "multimedia"), ("incollection", "knowledge_systems")]
+)
+
+
+def _record_key(category: str, topic: str, index: int) -> str:
+    prefix = {"article": "journals", "inproceedings": "conf", "book": "books",
+              "incollection": "books"}[category]
+    return f"{prefix}/{topic[:4]}/rec{index}"
+
+
+def _build_article(builder: XMLTreeBuilder, sampler: TextSampler, topic: str, index: int) -> None:
+    builder.start("article")
+    builder.attribute("key", _record_key("article", topic, index))
+    for _ in range(sampler.rng.randint(1, 3)):
+        builder.element("author", sampler.person_name())
+    builder.element("title", sampler.title(topic))
+    builder.element("year", sampler.year())
+    builder.element("journal", f"{sampler.rng.choice(['Journal', 'Transactions'])} of {sampler.sentence(topic, 2)}")
+    builder.element("volume", str(sampler.rng.randint(1, 40)))
+    builder.element("pages", f"{sampler.rng.randint(1, 400)}-{sampler.rng.randint(401, 800)}")
+    builder.end()
+
+
+def _build_inproceedings(builder: XMLTreeBuilder, sampler: TextSampler, topic: str, index: int) -> None:
+    builder.start("inproceedings")
+    builder.attribute("key", _record_key("inproceedings", topic, index))
+    for _ in range(sampler.rng.randint(1, 3)):
+        builder.element("author", sampler.person_name())
+    builder.element("title", sampler.title(topic))
+    builder.element("year", sampler.year())
+    builder.element("booktitle", f"Proceedings of the {sampler.sentence(topic, 2)} Conference")
+    builder.element("pages", f"{sampler.rng.randint(1, 400)}-{sampler.rng.randint(401, 800)}")
+    builder.end()
+
+
+def _build_book(builder: XMLTreeBuilder, sampler: TextSampler, topic: str, index: int) -> None:
+    builder.start("book")
+    builder.attribute("key", _record_key("book", topic, index))
+    builder.element("author", sampler.person_name())
+    builder.element("title", sampler.title(topic, min_words=5, max_words=10))
+    builder.element("year", sampler.year())
+    builder.element("publisher", f"{sampler.rng.choice(['Springer', 'Elsevier', 'Wiley', 'Academic'])} Press")
+    builder.element("isbn", f"978-{sampler.rng.randint(0, 9)}-{sampler.rng.randint(1000, 9999)}-{sampler.rng.randint(1000, 9999)}-{sampler.rng.randint(0, 9)}")
+    builder.end()
+
+
+def _build_incollection(builder: XMLTreeBuilder, sampler: TextSampler, topic: str, index: int) -> None:
+    builder.start("incollection")
+    builder.attribute("key", _record_key("incollection", topic, index))
+    for _ in range(sampler.rng.randint(1, 2)):
+        builder.element("author", sampler.person_name())
+    builder.element("title", sampler.title(topic))
+    builder.element("year", sampler.year())
+    builder.element("booktitle", f"Handbook of {sampler.sentence(topic, 2)}")
+    builder.element("chapter", str(sampler.rng.randint(1, 25)))
+    builder.element("publisher", f"{sampler.rng.choice(['Springer', 'CRC', 'MIT'])} Press")
+    builder.end()
+
+
+_BUILDERS = {
+    "article": _build_article,
+    "inproceedings": _build_inproceedings,
+    "book": _build_book,
+    "incollection": _build_incollection,
+}
+
+
+def generate_dblp(
+    num_documents: int = 120,
+    seed: int = 0,
+    topic_ratio: float = 0.75,
+) -> SyntheticCorpus:
+    """Generate a synthetic DBLP-like corpus.
+
+    Parameters
+    ----------
+    num_documents:
+        Number of bibliographic records (each record is one XML document
+        rooted at ``dblp``; with 1-3 authors per record the corpus yields
+        roughly twice as many transactions as documents, matching the real
+        collection's ratio).
+    seed:
+        Seed of the deterministic pseudo-random generator.
+    topic_ratio:
+        Fraction of topical (vs. filler) words in text fields.
+    """
+    rng = random.Random(seed)
+    sampler = TextSampler(rng, topic_ratio=topic_ratio)
+
+    combos = spread_classes(
+        num_documents, [f"{cat}|{topic}" for cat, topic in DBLP_HYBRID_COMBOS], rng
+    )
+
+    trees: List[XMLTree] = []
+    structure_labels: Dict[str, str] = {}
+    content_labels: Dict[str, str] = {}
+    hybrid_labels: Dict[str, str] = {}
+
+    for index, combo in enumerate(combos):
+        category, topic = combo.split("|")
+        doc_id = f"dblp-{index:05d}"
+        builder = XMLTreeBuilder(doc_id=doc_id)
+        builder.start("dblp")
+        _BUILDERS[category](builder, sampler, topic, index)
+        builder.end()
+        trees.append(builder.finish())
+        structure_labels[doc_id] = category
+        content_labels[doc_id] = topic
+        hybrid_labels[doc_id] = combo
+
+    return SyntheticCorpus(
+        name="DBLP",
+        trees=trees,
+        doc_labels={
+            "structure": structure_labels,
+            "content": content_labels,
+            "hybrid": hybrid_labels,
+        },
+        class_counts={
+            "structure": len(DBLP_CATEGORIES),
+            "content": len(DBLP_TOPICS),
+            "hybrid": len(DBLP_HYBRID_COMBOS),
+        },
+    )

@@ -1,0 +1,154 @@
+"""Synthetic Shakespeare-like corpus of XML-encoded plays.
+
+The paper's Shakespeare collection contains seven long plays (the three parts
+of Henry VI, Henry VIII, Hamlet, Macbeth and Othello).  The ground truth
+distinguishes three structural classes -- based on the presence or absence of
+the discriminatory paths ``personae.pgroup``, ``act.prologue`` and
+``act.epilogue`` -- five content classes (the plays, with the Henry VI parts
+collapsed into one class) and twelve hybrid classes.
+
+The generator emits seven documents with the same element layout and the
+paper's structural-marker combinations; every speech concatenates its lines
+into a single ``line`` element, as done by the paper's preprocessing.
+Because speeches, scenes and acts repeat, each play decomposes into many tree
+tuples, reproducing the long-document / few-documents character of the
+original collection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.datasets.generator import SyntheticCorpus, TextSampler
+from repro.xmlmodel.tree import XMLTree, XMLTreeBuilder
+
+#: (document id, content class, structural class) for each of the 7 plays.
+#: Structural classes encode which discriminatory paths the play contains:
+#:  * ``pgroup``   -- personae contains a pgroup element
+#:  * ``prologue`` -- acts open with a prologue
+#:  * ``plain``    -- neither marker (epilogues only)
+PLAYS: List[Tuple[str, str, str]] = [
+    ("henry-vi-part1", "henry_vi", "pgroup"),
+    ("henry-vi-part2", "henry_vi", "pgroup"),
+    ("henry-vi-part3", "henry_vi", "plain"),
+    ("henry-viii", "henry_viii", "prologue"),
+    ("hamlet", "hamlet", "pgroup"),
+    ("macbeth", "macbeth", "plain"),
+    ("othello", "othello", "prologue"),
+]
+
+SHAKESPEARE_CONTENT_CLASSES: List[str] = [
+    "henry_vi", "henry_viii", "hamlet", "macbeth", "othello",
+]
+SHAKESPEARE_STRUCTURE_CLASSES: List[str] = ["pgroup", "prologue", "plain"]
+#: The paper groups tree tuples into 12 classes for structure/content-driven
+#: clustering; here the hybrid label is the (structure, content) combination,
+#: of which the seven plays produce exactly the ones listed below.
+SHAKESPEARE_HYBRID_CLASSES: List[str] = sorted(
+    {f"{structure}|{content}" for _, content, structure in PLAYS}
+)
+
+
+def _build_play(
+    sampler: TextSampler,
+    doc_id: str,
+    topic: str,
+    structure_class: str,
+    acts: int,
+    scenes_per_act: int,
+    speeches_per_scene: int,
+    personas: int,
+) -> XMLTree:
+    rng = sampler.rng
+    builder = XMLTreeBuilder(doc_id=doc_id)
+    builder.start("play")
+    builder.element("title", sampler.title(topic, min_words=3, max_words=6))
+    builder.start("personae")
+    for _ in range(personas):
+        builder.element("persona", sampler.person_name())
+    if structure_class == "pgroup":
+        builder.start("pgroup")
+        builder.element("persona", sampler.person_name())
+        builder.element("grpdescr", sampler.sentence(topic, 4))
+        builder.end()
+    builder.end()
+
+    for act_index in range(acts):
+        builder.start("act")
+        builder.element("acttitle", f"ACT {act_index + 1}")
+        if structure_class == "prologue" and act_index == 0:
+            builder.start("prologue")
+            builder.element("speech", sampler.paragraph(topic, min_words=15, max_words=25))
+            builder.end()
+        for scene_index in range(scenes_per_act):
+            builder.start("scene")
+            builder.element("scenetitle", f"SCENE {scene_index + 1}. {sampler.sentence(topic, 3)}")
+            for _ in range(speeches_per_scene):
+                builder.start("speech")
+                builder.element("speaker", sampler.person_name().split()[0].upper())
+                builder.element("line", sampler.paragraph(topic, min_words=12, max_words=30))
+                builder.end()
+            builder.end()
+        if structure_class == "plain" and act_index == acts - 1:
+            builder.start("epilogue")
+            builder.element("speech", sampler.paragraph(topic, min_words=12, max_words=20))
+            builder.end()
+        builder.end()
+    builder.end()
+    return builder.finish()
+
+
+def generate_shakespeare(
+    seed: int = 0,
+    acts: int = 2,
+    scenes_per_act: int = 2,
+    speeches_per_scene: int = 2,
+    personas: int = 2,
+    topic_ratio: float = 0.75,
+) -> SyntheticCorpus:
+    """Generate the seven-play synthetic Shakespeare corpus.
+
+    The ``acts`` / ``scenes_per_act`` / ``speeches_per_scene`` / ``personas``
+    knobs control the number of tree tuples per play (the tuple count is
+    roughly ``personas * acts * scenes * speeches``), so experiments can trade
+    corpus size for runtime without changing the class structure.
+    """
+    rng = random.Random(seed)
+    sampler = TextSampler(rng, topic_ratio=topic_ratio)
+
+    trees: List[XMLTree] = []
+    structure_labels: Dict[str, str] = {}
+    content_labels: Dict[str, str] = {}
+    hybrid_labels: Dict[str, str] = {}
+
+    for doc_id, topic, structure_class in PLAYS:
+        tree = _build_play(
+            sampler,
+            doc_id,
+            topic,
+            structure_class,
+            acts=acts,
+            scenes_per_act=scenes_per_act,
+            speeches_per_scene=speeches_per_scene,
+            personas=personas,
+        )
+        trees.append(tree)
+        structure_labels[doc_id] = structure_class
+        content_labels[doc_id] = topic
+        hybrid_labels[doc_id] = f"{structure_class}|{topic}"
+
+    return SyntheticCorpus(
+        name="Shakespeare",
+        trees=trees,
+        doc_labels={
+            "structure": structure_labels,
+            "content": content_labels,
+            "hybrid": hybrid_labels,
+        },
+        class_counts={
+            "structure": len(SHAKESPEARE_STRUCTURE_CLASSES),
+            "content": len(SHAKESPEARE_CONTENT_CLASSES),
+            "hybrid": len(SHAKESPEARE_HYBRID_CLASSES),
+        },
+    )

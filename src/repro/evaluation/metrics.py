@@ -1,0 +1,115 @@
+"""Additional external cluster validity indices.
+
+Beyond the paper's F-measure, the reproduction reports purity, normalised
+mutual information (NMI) and the adjusted Rand index (ARI) so ablation
+studies can cross-check conclusions against indices with different biases.
+All functions take the clustering as lists of transaction identifiers and the
+reference as a mapping from identifier to class label, like
+:func:`repro.evaluation.fmeasure.overall_f_measure`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+def _contingency(
+    clusters: Sequence[Sequence[str]], reference: Mapping[str, str]
+) -> Tuple[Dict[Tuple[int, str], int], Counter, Counter, int]:
+    """Build the cluster x class contingency table over labelled ids."""
+    table: Dict[Tuple[int, str], int] = {}
+    cluster_sizes: Counter = Counter()
+    class_sizes: Counter = Counter()
+    total = 0
+    for cluster_index, cluster in enumerate(clusters):
+        for transaction_id in cluster:
+            label = reference.get(transaction_id)
+            if label is None:
+                continue
+            table[(cluster_index, label)] = table.get((cluster_index, label), 0) + 1
+            cluster_sizes[cluster_index] += 1
+            class_sizes[label] += 1
+            total += 1
+    return table, cluster_sizes, class_sizes, total
+
+
+def purity(clusters: Sequence[Sequence[str]], reference: Mapping[str, str]) -> float:
+    """Cluster purity: fraction of objects in their cluster's majority class."""
+    table, cluster_sizes, _, total = _contingency(clusters, reference)
+    if total == 0:
+        return 0.0
+    majority_sum = 0
+    for cluster_index in cluster_sizes:
+        best = max(
+            (count for (c, _), count in table.items() if c == cluster_index),
+            default=0,
+        )
+        majority_sum += best
+    return majority_sum / total
+
+
+def normalized_mutual_information(
+    clusters: Sequence[Sequence[str]], reference: Mapping[str, str]
+) -> float:
+    """NMI with arithmetic-mean normalisation (0 when either entropy is 0)."""
+    table, cluster_sizes, class_sizes, total = _contingency(clusters, reference)
+    if total == 0:
+        return 0.0
+    mutual_information = 0.0
+    for (cluster_index, label), count in table.items():
+        p_joint = count / total
+        p_cluster = cluster_sizes[cluster_index] / total
+        p_class = class_sizes[label] / total
+        mutual_information += p_joint * math.log(p_joint / (p_cluster * p_class))
+
+    def entropy(sizes: Counter) -> float:
+        return -sum(
+            (size / total) * math.log(size / total) for size in sizes.values() if size
+        )
+
+    h_cluster = entropy(cluster_sizes)
+    h_class = entropy(class_sizes)
+    denominator = (h_cluster + h_class) / 2.0
+    if denominator == 0.0:
+        return 0.0
+    return max(0.0, min(1.0, mutual_information / denominator))
+
+
+def _comb2(n: int) -> float:
+    return n * (n - 1) / 2.0
+
+
+def adjusted_rand_index(
+    clusters: Sequence[Sequence[str]], reference: Mapping[str, str]
+) -> float:
+    """Adjusted Rand index (1 for identical partitions, ~0 for random ones)."""
+    table, cluster_sizes, class_sizes, total = _contingency(clusters, reference)
+    if total == 0:
+        return 0.0
+    sum_comb_table = sum(_comb2(count) for count in table.values())
+    sum_comb_clusters = sum(_comb2(size) for size in cluster_sizes.values())
+    sum_comb_classes = sum(_comb2(size) for size in class_sizes.values())
+    total_comb = _comb2(total)
+    if total_comb == 0:
+        return 0.0
+    expected = sum_comb_clusters * sum_comb_classes / total_comb
+    maximum = (sum_comb_clusters + sum_comb_classes) / 2.0
+    if maximum == expected:
+        return 1.0 if sum_comb_table == expected else 0.0
+    return (sum_comb_table - expected) / (maximum - expected)
+
+
+def clustering_report(
+    clusters: Sequence[Sequence[str]], reference: Mapping[str, str]
+) -> Dict[str, float]:
+    """Return F-measure, purity, NMI and ARI in one dictionary."""
+    from repro.evaluation.fmeasure import overall_f_measure
+
+    return {
+        "f_measure": overall_f_measure(clusters, reference),
+        "purity": purity(clusters, reference),
+        "nmi": normalized_mutual_information(clusters, reference),
+        "ari": adjusted_rand_index(clusters, reference),
+    }

@@ -1,0 +1,92 @@
+"""Timing helpers used by the efficiency experiments."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class TimingRecord:
+    """Collected wall-clock samples for a named operation."""
+
+    name: str
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def mean(self) -> float:
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def count(self) -> int:
+        return len(self.samples)
+
+
+class Stopwatch:
+    """Accumulates named timing records across an experiment run."""
+
+    def __init__(self) -> None:
+        self.records: Dict[str, TimingRecord] = {}
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Time the body of the ``with`` block under the given name."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add one sample to the named record."""
+        self.records.setdefault(name, TimingRecord(name)).add(seconds)
+
+    def time_callable(self, name: str, fn: Callable, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` while timing it; return its result."""
+        with self.measure(name):
+            return fn(*args, **kwargs)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Return per-record totals, means and extrema."""
+        return {
+            name: {
+                "total": record.total(),
+                "mean": record.mean(),
+                "min": record.minimum(),
+                "max": record.maximum(),
+                "count": float(record.count()),
+            }
+            for name, record in self.records.items()
+        }
+
+
+def time_function(fn: Callable, *args, repeat: int = 1, **kwargs) -> Dict[str, float]:
+    """Time ``repeat`` executions of *fn*; returns min/mean/max seconds."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    samples = []
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        samples.append(time.perf_counter() - start)
+    return {
+        "min": min(samples),
+        "mean": statistics.fmean(samples),
+        "max": max(samples),
+        "repeat": float(repeat),
+        "last_result": result,
+    }

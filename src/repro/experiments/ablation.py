@@ -1,0 +1,188 @@
+"""Ablation studies on the design choices called out in DESIGN.md.
+
+Three ablations complement the paper's own evaluation:
+
+* **gamma sweep** (A1) -- sensitivity of accuracy to the matching threshold
+  ``gamma`` (the paper reports that the best settings sit above 0.85);
+* **collaborativeness off** (A2) -- CXK-means where the global
+  representatives are computed once from the initial local clusterings and
+  never refreshed, isolating the value of the iterative collaboration;
+* **cost-model check** (A3 / E10) -- comparison between the analytic
+  saturation point predicted by ``f(m)`` (Sec. 4.3.4) and the empirical
+  saturation point of a measured runtime curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import ClusteringConfig
+from repro.core.cxkmeans import CXKMeans
+from repro.core.partition import PartitioningScheme, partition
+from repro.datasets.registry import cluster_count, get_dataset
+from repro.evaluation.fmeasure import overall_f_measure
+from repro.network.costmodel import CostModel, saturation_point
+from repro.similarity.item import SimilarityConfig
+from repro.transactions.dataset import TransactionDataset
+
+
+# --------------------------------------------------------------------------- #
+# A1: gamma threshold sweep
+# --------------------------------------------------------------------------- #
+def gamma_sweep(
+    dataset: TransactionDataset,
+    goal: str = "hybrid",
+    gammas: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95),
+    f: float = 0.5,
+    nodes: int = 3,
+    k: Optional[int] = None,
+    seed: int = 0,
+    max_iterations: int = 6,
+) -> Dict[float, float]:
+    """Return {gamma: F-measure} for a fixed corpus and node count."""
+    reference = dataset.labels_for(goal)
+    if k is None:
+        k = len(set(reference.values()))
+    results: Dict[float, float] = {}
+    for gamma in gammas:
+        config = ClusteringConfig(
+            k=k,
+            similarity=SimilarityConfig(f=f, gamma=gamma),
+            seed=seed,
+            max_iterations=max_iterations,
+        )
+        parts = partition(dataset.transactions, nodes, PartitioningScheme.EQUAL, seed=seed)
+        result = CXKMeans(config).fit(parts)
+        results[gamma] = overall_f_measure(result.partition(), reference)
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# A2: value of collaborativeness
+# --------------------------------------------------------------------------- #
+def collaborativeness_ablation(
+    dataset: TransactionDataset,
+    goal: str = "hybrid",
+    nodes: Sequence[int] = (3, 5, 9),
+    f: float = 0.5,
+    gamma: float = 0.85,
+    k: Optional[int] = None,
+    seed: int = 0,
+    max_iterations: int = 6,
+) -> Dict[int, Dict[str, float]]:
+    """Return {nodes: {"collaborative": F, "non_collaborative": F}}.
+
+    The non-collaborative variant stops after a single exchange of local
+    representatives (``max_iterations = 2``: one round to build the initial
+    global representatives, one round to consume them), so peers never refine
+    their summaries through further collaboration; comparing it with the full
+    algorithm isolates the contribution of the iterative collaboration.
+    """
+    reference = dataset.labels_for(goal)
+    if k is None:
+        k = len(set(reference.values()))
+    similarity = SimilarityConfig(f=f, gamma=gamma)
+    results: Dict[int, Dict[str, float]] = {}
+    for m in nodes:
+        parts = partition(dataset.transactions, m, PartitioningScheme.EQUAL, seed=seed)
+        full_config = ClusteringConfig(
+            k=k, similarity=similarity, seed=seed, max_iterations=max_iterations
+        )
+        frozen_config = ClusteringConfig(
+            k=k, similarity=similarity, seed=seed, max_iterations=2
+        )
+        collaborative = CXKMeans(full_config).fit(parts)
+        non_collaborative = CXKMeans(frozen_config).fit(parts)
+        results[m] = {
+            "collaborative": overall_f_measure(collaborative.partition(), reference),
+            "non_collaborative": overall_f_measure(
+                non_collaborative.partition(), reference
+            ),
+        }
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# A3 / E10: analytic vs. empirical saturation point
+# --------------------------------------------------------------------------- #
+@dataclass
+class CostModelCheck:
+    """Outcome of the analytic-vs-empirical saturation comparison."""
+
+    analytic_curve: Dict[int, float]
+    empirical_curve: Dict[int, float]
+    analytic_saturation: int
+    empirical_saturation: int
+    analytic_optimum: float
+
+
+def cost_model_check(
+    dataset: TransactionDataset,
+    k: int,
+    node_counts: Sequence[int] = (1, 3, 5, 7, 9, 11),
+    f: float = 0.5,
+    gamma: float = 0.85,
+    seed: int = 0,
+    max_iterations: int = 6,
+    cost_model: Optional[CostModel] = None,
+    calibrate: bool = True,
+) -> CostModelCheck:
+    """Compare the analytic f(m) curve with measured simulated runtimes.
+
+    When ``calibrate`` is set (default), the analytic curve's free parameter
+    ``t_mem`` is fitted on the measured centralized runtime (the ``m = 1``
+    point, where communication plays no role), so the comparison focuses on
+    the *shape* of the two curves as the paper's Sec. 5.5.1 does.
+    """
+    cost_model = cost_model or CostModel()
+    empirical: Dict[int, float] = {}
+    similarity = SimilarityConfig(f=f, gamma=gamma)
+    for m in node_counts:
+        config = ClusteringConfig(
+            k=k, similarity=similarity, seed=seed, max_iterations=max_iterations
+        )
+        parts = partition(dataset.transactions, m, PartitioningScheme.EQUAL, seed=seed)
+        result = CXKMeans(config, cost_model=cost_model).fit(parts)
+        empirical[m] = result.simulated_seconds or result.elapsed_seconds
+
+    analytic_model = cost_model
+    if calibrate and 1 in empirical:
+        # Fit t_mem on the centralized measurement and express the transfer
+        # cost per *element* (the analytic formula factors |tr_max|*|u_max|
+        # out of both terms, whereas the simulated network charges per
+        # transaction), so the two curves use consistent units.
+        tr = max(dataset.max_transaction_length(), 1)
+        u = max(dataset.max_tcu_size(), 1)
+        per_element_comm = (
+            cost_model.t_comm / (tr * u) + cost_model.unit_comm
+        )
+        analytic_model = CostModel(
+            t_mem=cost_model.t_mem,
+            t_comm=per_element_comm,
+            unit_comm=cost_model.unit_comm,
+        ).with_calibrated_t_mem(
+            empirical[1],
+            dataset_size=len(dataset),
+            k=k,
+            max_transaction_length=dataset.max_transaction_length(),
+            max_tcu_size=dataset.max_tcu_size(),
+        )
+    analytic = analytic_model.predicted_curve(
+        node_counts,
+        dataset_size=len(dataset),
+        k=k,
+        max_transaction_length=dataset.max_transaction_length(),
+        max_tcu_size=dataset.max_tcu_size(),
+    )
+    return CostModelCheck(
+        analytic_curve=analytic,
+        empirical_curve=empirical,
+        analytic_saturation=saturation_point(analytic),
+        empirical_saturation=saturation_point(empirical),
+        analytic_optimum=analytic_model.optimal_nodes(
+            dataset_size=len(dataset),
+            k=k,
+            max_transaction_length=dataset.max_transaction_length(),
+        ),
+    )

@@ -1,0 +1,201 @@
+"""Analytic cost model of CXK-means (paper Sec. 4.3.4).
+
+The paper expresses the global runtime of CXK-means over ``m`` nodes as::
+
+    f(m) = |tr_max| * |u_max| * ( |tr_max|^2 * |S|^2 * t_mem / (h * m)
+                                  + k * t_comm * (m - 1) )
+
+the sum of a hyperbolic main-memory term and a linear communication term,
+where ``t_mem`` is the cost of one main-memory operation, ``t_comm`` the
+cost of one peer-to-peer transfer, and ``h in [1, k]`` captures how evenly
+the transactions spread across clusters (``h = k`` for perfectly balanced
+clusters, ``h = 1`` when one cluster dominates).  The function has a global
+minimum at::
+
+    m* = |S| / sqrt(h) * sqrt(|tr_max|^2 * t_mem / (k * t_comm))
+
+which acts as the upper bound on the number of nodes that still yields an
+efficiency gain -- the *saturation point* observed in Fig. 7.
+
+The same cost model converts the traffic recorded by the simulated network
+into simulated communication seconds, so experiment runtimes can be reported
+as modelled parallel times on arbitrary (virtual) cluster sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit costs of the analytic model.
+
+    Attributes
+    ----------
+    t_mem:
+        Time (seconds) of a single main-memory operation.
+    t_comm:
+        Time (seconds) to transfer one transaction between two peers; the
+        paper's GigaBit testbed makes this several orders of magnitude
+        larger than ``t_mem``.
+    unit_comm:
+        Time (seconds) to transfer one abstract size unit (one item or one
+        vector component), used when converting measured traffic into
+        simulated seconds.
+    """
+
+    t_mem: float = 1.0e-7
+    t_comm: float = 5.0e-3
+    unit_comm: float = 5.0e-5
+
+    # ------------------------------------------------------------------ #
+    # The analytic f(m) of Sec. 4.3.4
+    # ------------------------------------------------------------------ #
+    def predicted_time(
+        self,
+        nodes: int,
+        dataset_size: int,
+        k: int,
+        max_transaction_length: int,
+        max_tcu_size: int,
+        h: float = None,
+    ) -> float:
+        """Evaluate ``f(m)`` for the given corpus profile.
+
+        Parameters
+        ----------
+        nodes:
+            Number of peers ``m`` (>= 1).
+        dataset_size:
+            Number of transactions ``|S|``.
+        k:
+            Number of clusters.
+        max_transaction_length / max_tcu_size:
+            ``|tr_max|`` and ``|u_max|`` of the corpus.
+        h:
+            Cluster balance parameter in ``[1, k]``; defaults to ``k``
+            (balanced clusters, the paper's Case 1).
+        """
+        if nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {nodes}")
+        if h is None:
+            h = float(k)
+        h = max(1.0, min(float(k), float(h)))
+        tr = float(max_transaction_length)
+        u = max(float(max_tcu_size), 1.0)
+        s = float(dataset_size)
+        memory_term = (tr ** 2) * (s ** 2) * self.t_mem / (h * nodes)
+        comm_term = k * self.t_comm * (nodes - 1)
+        return tr * u * (memory_term + comm_term)
+
+    def optimal_nodes(
+        self,
+        dataset_size: int,
+        k: int,
+        max_transaction_length: int,
+        h: float = None,
+    ) -> float:
+        """Return the (real-valued) minimiser ``m*`` of ``f(m)``."""
+        if h is None:
+            h = float(k)
+        h = max(1.0, min(float(k), float(h)))
+        tr = float(max_transaction_length)
+        return (float(dataset_size) / math.sqrt(h)) * math.sqrt(
+            (tr ** 2) * self.t_mem / (k * self.t_comm)
+        )
+
+    def predicted_curve(
+        self,
+        node_counts: Sequence[int],
+        dataset_size: int,
+        k: int,
+        max_transaction_length: int,
+        max_tcu_size: int,
+        h: float = None,
+    ) -> Dict[int, float]:
+        """Evaluate ``f(m)`` over a sweep of node counts."""
+        return {
+            m: self.predicted_time(
+                m, dataset_size, k, max_transaction_length, max_tcu_size, h=h
+            )
+            for m in node_counts
+        }
+
+    def with_calibrated_t_mem(
+        self,
+        measured_centralized_seconds: float,
+        dataset_size: int,
+        k: int,
+        max_transaction_length: int,
+        max_tcu_size: int,
+        h: float = None,
+    ) -> "CostModel":
+        """Return a copy whose ``t_mem`` makes ``f(1)`` match a measurement.
+
+        The analytic model leaves the per-operation cost ``t_mem`` as a free
+        parameter; fitting it on the measured centralized runtime (``m = 1``,
+        where the communication term vanishes) lets the model predict the
+        *shape* of the runtime curve for larger networks, which is how the
+        cost-model benchmark compares analytic and empirical saturation
+        points.
+        """
+        if h is None:
+            h = float(k)
+        h = max(1.0, min(float(k), float(h)))
+        tr = float(max_transaction_length)
+        u = max(float(max_tcu_size), 1.0)
+        s = float(dataset_size)
+        denominator = tr * u * (tr ** 2) * (s ** 2) / h
+        if denominator <= 0 or measured_centralized_seconds <= 0:
+            return self
+        return CostModel(
+            t_mem=measured_centralized_seconds / denominator,
+            t_comm=self.t_comm,
+            unit_comm=self.unit_comm,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversion of measured traffic into simulated time
+    # ------------------------------------------------------------------ #
+    def communication_seconds(
+        self, transferred_transactions: int, transferred_units: float
+    ) -> float:
+        """Simulated communication time of a round or of a whole run.
+
+        Combines a per-transaction latency term with a volume term; either
+        contribution can be disabled by zeroing the respective unit cost.
+        """
+        return (
+            transferred_transactions * self.t_comm
+            + transferred_units * self.unit_comm
+        )
+
+
+def saturation_point(curve: Dict[int, float], tolerance: float = 0.05) -> int:
+    """Return the empirical saturation point of a runtime-vs-nodes curve.
+
+    The saturation point is the smallest node count whose runtime is within
+    ``tolerance`` (relative) of the minimum runtime of the curve -- i.e. the
+    point past which adding nodes no longer yields a significant gain.
+    """
+    if not curve:
+        raise ValueError("cannot compute the saturation point of an empty curve")
+    minimum = min(curve.values())
+    threshold = minimum * (1.0 + tolerance)
+    for nodes in sorted(curve.keys()):
+        if curve[nodes] <= threshold:
+            return nodes
+    return max(curve.keys())
+
+
+def speedup_curve(curve: Dict[int, float]) -> Dict[int, float]:
+    """Return the speed-up of every configuration relative to one node."""
+    if 1 not in curve:
+        raise ValueError("the curve must include the centralized case (1 node)")
+    baseline = curve[1]
+    if baseline <= 0:
+        return {nodes: 0.0 for nodes in curve}
+    return {nodes: baseline / value if value > 0 else float("inf") for nodes, value in curve.items()}

@@ -1,0 +1,103 @@
+"""Execution engines for per-peer computations.
+
+The collaborative algorithm runs one "local phase" per peer per round.  The
+simulated network executes these phases sequentially and models parallelism
+through its timing rules; this module additionally provides a real
+multiprocessing engine so the same peer logic can actually run in parallel on
+the host's cores (the paper's testbed parallelism, approximated with OS
+processes as per the reproduction notes in DESIGN.md).
+
+Both engines expose the same ``map`` interface: they apply a picklable
+module-level function to a list of argument tuples and return the results in
+order.  The multiprocessing engine transparently falls back to serial
+execution when the payload cannot be pickled or when only one worker is
+available, so callers never need to special-case platform quirks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Any, Callable, List, Optional, Sequence
+
+
+class SerialExecutor:
+    """Executes peer phases one after another in the calling process."""
+
+    def map(self, function: Callable[[Any], Any], arguments: Sequence[Any]) -> List[Any]:
+        """Apply *function* to every element of *arguments*, in order."""
+        return [function(argument) for argument in arguments]
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        """Release resources (no-op for the serial engine)."""
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+
+class MultiprocessingExecutor:
+    """Executes peer phases in a pool of worker processes.
+
+    Parameters
+    ----------
+    processes:
+        Number of worker processes; defaults to the machine's CPU count.
+    chunksize:
+        Chunk size passed to ``Pool.map``; the default of 1 keeps per-peer
+        work units intact, which matches the granularity of the algorithm.
+    """
+
+    def __init__(self, processes: Optional[int] = None, chunksize: int = 1) -> None:
+        self._processes = processes or multiprocessing.cpu_count()
+        self._chunksize = max(1, chunksize)
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = multiprocessing.get_context("spawn").Pool(self._processes)
+        return self._pool
+
+    def map(self, function: Callable[[Any], Any], arguments: Sequence[Any]) -> List[Any]:
+        """Apply *function* in parallel, falling back to serial on failure."""
+        arguments = list(arguments)
+        if self._processes <= 1 or len(arguments) <= 1:
+            return [function(argument) for argument in arguments]
+        try:
+            pickle.dumps(function)
+            for argument in arguments:
+                pickle.dumps(argument)
+        except Exception:
+            return [function(argument) for argument in arguments]
+        try:
+            pool = self._ensure_pool()
+            return pool.map(function, arguments, chunksize=self._chunksize)
+        except Exception:
+            # Any pool-level failure (spawn issues in constrained sandboxes,
+            # broken pipes, ...) degrades gracefully to serial execution.
+            return [function(argument) for argument in arguments]
+
+    def close(self) -> None:
+        """Terminate the worker pool."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    @property
+    def workers(self) -> int:
+        return self._processes
+
+    def __enter__(self) -> "MultiprocessingExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def make_executor(parallel: bool = False, processes: Optional[int] = None):
+    """Return a :class:`SerialExecutor` or :class:`MultiprocessingExecutor`."""
+    if parallel:
+        return MultiprocessingExecutor(processes=processes)
+    return SerialExecutor()

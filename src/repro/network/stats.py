@@ -1,0 +1,102 @@
+"""Traffic and timing statistics for (simulated) distributed runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.network.message import Message
+
+
+@dataclass
+class RoundStats:
+    """Statistics of a single collaborative iteration (round)."""
+
+    round_index: int
+    messages: int = 0
+    transferred_transactions: int = 0
+    transferred_items: int = 0
+    transferred_units: float = 0.0
+    #: Per-peer computation time (seconds) measured while executing the
+    #: peer's work for this round.
+    compute_seconds: Dict[int, float] = field(default_factory=dict)
+
+    def max_compute_seconds(self) -> float:
+        """Return the longest per-peer computation of the round (the modelled
+        parallel duration of the round's compute phase)."""
+        return max(self.compute_seconds.values(), default=0.0)
+
+    def total_compute_seconds(self) -> float:
+        """Return the summed per-peer computation (the sequential duration)."""
+        return sum(self.compute_seconds.values())
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate statistics for a whole distributed run."""
+
+    rounds: List[RoundStats] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def start_round(self, round_index: int) -> RoundStats:
+        """Open a new round and return its statistics record."""
+        stats = RoundStats(round_index=round_index)
+        self.rounds.append(stats)
+        return stats
+
+    def current_round(self) -> RoundStats:
+        """Return the statistics of the round currently in progress."""
+        if not self.rounds:
+            return self.start_round(0)
+        return self.rounds[-1]
+
+    def record_message(self, message: Message) -> None:
+        """Account one message in the current round."""
+        stats = self.current_round()
+        stats.messages += 1
+        stats.transferred_transactions += message.transaction_count()
+        stats.transferred_items += message.item_count()
+        stats.transferred_units += message.size_units()
+
+    def record_compute(self, peer_id: int, seconds: float) -> None:
+        """Record (add) computation time of a peer in the current round."""
+        stats = self.current_round()
+        stats.compute_seconds[peer_id] = stats.compute_seconds.get(peer_id, 0.0) + seconds
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def total_messages(self) -> int:
+        return sum(stats.messages for stats in self.rounds)
+
+    def total_transferred_transactions(self) -> int:
+        return sum(stats.transferred_transactions for stats in self.rounds)
+
+    def total_transferred_items(self) -> int:
+        return sum(stats.transferred_items for stats in self.rounds)
+
+    def total_transferred_units(self) -> float:
+        return sum(stats.transferred_units for stats in self.rounds)
+
+    def total_parallel_compute_seconds(self) -> float:
+        """Sum over rounds of the slowest peer's compute time."""
+        return sum(stats.max_compute_seconds() for stats in self.rounds)
+
+    def total_sequential_compute_seconds(self) -> float:
+        """Sum over rounds of all peers' compute times."""
+        return sum(stats.total_compute_seconds() for stats in self.rounds)
+
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the aggregate statistics as a flat dictionary."""
+        return {
+            "rounds": float(self.round_count()),
+            "messages": float(self.total_messages()),
+            "transferred_transactions": float(self.total_transferred_transactions()),
+            "transferred_items": float(self.total_transferred_items()),
+            "transferred_units": self.total_transferred_units(),
+            "parallel_compute_seconds": self.total_parallel_compute_seconds(),
+            "sequential_compute_seconds": self.total_sequential_compute_seconds(),
+        }

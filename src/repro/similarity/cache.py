@@ -1,0 +1,77 @@
+"""Caching of pairwise tag-path structural similarities.
+
+The complexity analysis of the paper (Sec. 4.3.2) observes that, since the
+input XML schema is fixed, the structural similarity between every pair of
+maximal tag paths can be computed once and reused; this reduces the cost of
+item ranking from quadratic in the number of items to quadratic in the (much
+smaller) number of distinct tag paths.  :class:`TagPathSimilarityCache`
+implements exactly that memoisation and is shared by the similarity engine,
+the representative computation and the clustering algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.similarity.structural import tag_path_similarity
+from repro.xmlmodel.paths import XMLPath
+
+
+class TagPathSimilarityCache:
+    """Memoises structural similarities between maximal tag paths.
+
+    The cache is symmetric: ``(p, q)`` and ``(q, p)`` share one entry.  It can
+    be pre-populated with :meth:`precompute` (the strategy suggested by the
+    complexity analysis) or filled lazily on first use.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[XMLPath, XMLPath], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _key(path_a: XMLPath, path_b: XMLPath) -> Tuple[XMLPath, XMLPath]:
+        return (path_a, path_b) if path_a <= path_b else (path_b, path_a)
+
+    def similarity(self, path_a: XMLPath, path_b: XMLPath) -> float:
+        """Return the structural similarity of two *tag* paths (cached)."""
+        key = self._key(path_a, path_b)
+        value = self._cache.get(key)
+        if value is None:
+            self.misses += 1
+            value = tag_path_similarity(path_a.steps, path_b.steps)
+            self._cache[key] = value
+        else:
+            self.hits += 1
+        return value
+
+    def item_similarity(self, item_a, item_b) -> float:
+        """Return the cached structural similarity of two items' tag paths."""
+        return self.similarity(item_a.tag_path, item_b.tag_path)
+
+    def precompute(self, tag_paths: Iterable[XMLPath]) -> int:
+        """Precompute all pairwise similarities over *tag_paths*.
+
+        Returns the number of cache entries after precomputation.
+        """
+        paths = list(dict.fromkeys(tag_paths))
+        for i, path_a in enumerate(paths):
+            for path_b in paths[i:]:
+                key = self._key(path_a, path_b)
+                if key not in self._cache:
+                    self._cache[key] = tag_path_similarity(path_a.steps, path_b.steps)
+        return len(self._cache)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Return cache statistics (useful in efficiency experiments)."""
+        return {"entries": len(self._cache), "hits": self.hits, "misses": self.misses}

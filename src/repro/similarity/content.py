@@ -1,0 +1,32 @@
+"""Content similarity between tree tuple items (paper Sec. 4.1.2).
+
+Content similarity is the cosine similarity between the ttf.itf-weighted TCU
+vectors of the two items.  Empty TCUs (items whose answer produced no index
+terms, e.g. purely numeric attribute values) have similarity 0 against
+everything, including themselves; this convention keeps the combined
+similarity well defined for structure-only items.
+"""
+
+from __future__ import annotations
+
+from repro.text.vector import SparseVector
+
+
+def cosine_similarity(u: SparseVector, v: SparseVector) -> float:
+    """Cosine similarity between two sparse TCU vectors (0 when either empty)."""
+    return u.cosine(v)
+
+
+def content_similarity(item_i, item_j) -> float:
+    """Content similarity between two tree tuple items.
+
+    Equals the cosine similarity of their TCU vectors.  When *both* TCUs are
+    empty -- typical for numeric fields such as years, page ranges or
+    identifiers whose tokens are dropped by preprocessing -- the comparison
+    falls back to exact matching of the raw answers, so two identical items
+    always have content similarity 1 and two different numeric values have 0.
+    A mixed comparison (one empty, one non-empty TCU) scores 0.
+    """
+    if not item_i.vector and not item_j.vector:
+        return 1.0 if item_i.answer == item_j.answer else 0.0
+    return cosine_similarity(item_i.vector, item_j.vector)

@@ -1,0 +1,203 @@
+"""Transaction-level similarity: gamma-shared items and sim^gamma_J (Eq. 4).
+
+Computing exact intersections between XML transactions is not effective
+because items may share structure/content information without being
+identical.  The paper therefore replaces set intersection with the set of
+*gamma-shared items*::
+
+    match_gamma(tr1, tr2) = match_gamma(tr1 -> tr2) ∪ match_gamma(tr2 -> tr1)
+
+where ``match_gamma(tri -> trj)`` contains the items ``e`` of ``tri`` for
+which there exists an item ``e_h`` of ``trj`` with ``sim(e, e_h) >= gamma``
+and no other item of ``tri`` is more similar to that ``e_h``.  The XML
+transaction similarity is then the Jaccard-style ratio::
+
+    sim^gamma_J(tr1, tr2) = |match_gamma(tr1, tr2)| / |tr1 ∪ tr2|
+
+The :class:`SimilarityEngine` bundles the configuration, the tag-path cache
+and the item/transaction similarity functions; it is the single entry point
+used by clustering and representative computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.similarity.cache import TagPathSimilarityCache
+from repro.similarity.content import content_similarity
+from repro.similarity.item import SimilarityConfig, item_similarity
+from repro.transactions.items import TreeTupleItem
+from repro.transactions.transaction import Transaction, union_size
+
+
+class SimilarityEngine:
+    """Computes item and transaction similarities for a given configuration.
+
+    Parameters
+    ----------
+    config:
+        The :class:`SimilarityConfig` (blend factor ``f`` and threshold
+        ``gamma``).
+    cache:
+        Optional shared :class:`TagPathSimilarityCache`; a private cache is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        config: SimilarityConfig,
+        cache: Optional[TagPathSimilarityCache] = None,
+    ) -> None:
+        self.config = config
+        self.cache = cache if cache is not None else TagPathSimilarityCache()
+
+    # ------------------------------------------------------------------ #
+    # Item level
+    # ------------------------------------------------------------------ #
+    def item_similarity(self, item_a: TreeTupleItem, item_b: TreeTupleItem) -> float:
+        """Combined item similarity (Eq. 1) using the cached structural part."""
+        structural = self.cache.item_similarity(item_a, item_b)
+        return item_similarity(item_a, item_b, self.config, structural=structural)
+
+    def gamma_matched(self, item_a: TreeTupleItem, item_b: TreeTupleItem) -> bool:
+        """Return True when the two items are gamma-matched (Eq. 2)."""
+        return self.item_similarity(item_a, item_b) >= self.config.gamma
+
+    # ------------------------------------------------------------------ #
+    # Transaction level
+    # ------------------------------------------------------------------ #
+    def directed_gamma_match(
+        self, source: Transaction, target: Transaction
+    ) -> Set[TreeTupleItem]:
+        """Return ``match_gamma(source -> target)``.
+
+        An item ``e`` of *source* is included when some item ``e_h`` of
+        *target* is gamma-matched with it and no other item of *source* is
+        strictly more similar to that ``e_h``.
+        """
+        if source.is_empty() or target.is_empty():
+            return set()
+        matched: Set[TreeTupleItem] = set()
+        source_items = source.items
+        for target_item in target.items:
+            best_similarity = -1.0
+            best_items: List[TreeTupleItem] = []
+            for source_item in source_items:
+                similarity = self.item_similarity(source_item, target_item)
+                if similarity > best_similarity:
+                    best_similarity = similarity
+                    best_items = [source_item]
+                elif similarity == best_similarity:
+                    best_items.append(source_item)
+            if best_similarity >= self.config.gamma:
+                matched.update(best_items)
+        return matched
+
+    def gamma_shared_items(
+        self, tr1: Transaction, tr2: Transaction
+    ) -> Set[TreeTupleItem]:
+        """Return the set of gamma-shared items ``match_gamma(tr1, tr2)``.
+
+        Equivalent to the union of the two directed matches, but the pairwise
+        item similarities are computed only once and reused for both
+        directions (they are symmetric), which halves the dominant cost of
+        the transaction similarity.
+        """
+        if tr1.is_empty() or tr2.is_empty():
+            return set()
+        items1 = tr1.items
+        items2 = tr2.items
+        gamma = self.config.gamma
+        # similarity matrix computed once
+        matrix = [
+            [self.item_similarity(item_a, item_b) for item_b in items2]
+            for item_a in items1
+        ]
+        matched: Set[TreeTupleItem] = set()
+        # direction tr1 -> tr2: for each item of tr2, the best item(s) of tr1
+        for column, _ in enumerate(items2):
+            best = -1.0
+            best_items: List[TreeTupleItem] = []
+            for row, item_a in enumerate(items1):
+                similarity = matrix[row][column]
+                if similarity > best:
+                    best = similarity
+                    best_items = [item_a]
+                elif similarity == best:
+                    best_items.append(item_a)
+            if best >= gamma:
+                matched.update(best_items)
+        # direction tr2 -> tr1: for each item of tr1, the best item(s) of tr2
+        for row, _ in enumerate(items1):
+            best = -1.0
+            best_items = []
+            for column, item_b in enumerate(items2):
+                similarity = matrix[row][column]
+                if similarity > best:
+                    best = similarity
+                    best_items = [item_b]
+                elif similarity == best:
+                    best_items.append(item_b)
+            if best >= gamma:
+                matched.update(best_items)
+        return matched
+
+    def transaction_similarity(self, tr1: Transaction, tr2: Transaction) -> float:
+        """XML transaction similarity ``sim^gamma_J`` (Eq. 4)."""
+        denominator = union_size(tr1, tr2)
+        if denominator == 0:
+            return 0.0
+        shared = self.gamma_shared_items(tr1, tr2)
+        return len(shared) / denominator
+
+    # ------------------------------------------------------------------ #
+    # Bulk helpers used by clustering
+    # ------------------------------------------------------------------ #
+    def nearest_representative(
+        self, transaction: Transaction, representatives: Sequence[Transaction]
+    ) -> Tuple[int, float]:
+        """Return (index, similarity) of the most similar representative.
+
+        Ties are broken in favour of the lowest index, matching the
+        deterministic relocation rule used in the reference algorithm.  An
+        empty representative list returns ``(-1, 0.0)``.
+        """
+        best_index = -1
+        best_similarity = -1.0
+        for index, representative in enumerate(representatives):
+            similarity = self.transaction_similarity(transaction, representative)
+            if similarity > best_similarity:
+                best_similarity = similarity
+                best_index = index
+        if best_index < 0:
+            return -1, 0.0
+        return best_index, best_similarity
+
+    def similarity_matrix(
+        self, transactions: Sequence[Transaction]
+    ) -> List[List[float]]:
+        """Return the symmetric pairwise similarity matrix (used in tests and
+        small-scale analyses; quadratic, so not for full corpora)."""
+        n = len(transactions)
+        matrix = [[0.0] * n for _ in range(n)]
+        for i in range(n):
+            matrix[i][i] = self.transaction_similarity(transactions[i], transactions[i])
+            for j in range(i + 1, n):
+                value = self.transaction_similarity(transactions[i], transactions[j])
+                matrix[i][j] = value
+                matrix[j][i] = value
+        return matrix
+
+
+def transaction_similarity(
+    tr1: Transaction, tr2: Transaction, config: SimilarityConfig
+) -> float:
+    """Stateless convenience wrapper around :class:`SimilarityEngine`."""
+    return SimilarityEngine(config).transaction_similarity(tr1, tr2)
+
+
+def gamma_shared_items(
+    tr1: Transaction, tr2: Transaction, config: SimilarityConfig
+) -> Set[TreeTupleItem]:
+    """Stateless convenience wrapper returning the gamma-shared item set."""
+    return SimilarityEngine(config).gamma_shared_items(tr1, tr2)

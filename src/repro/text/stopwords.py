@@ -1,0 +1,49 @@
+"""English stopword list used during TCU preprocessing.
+
+The list combines the classic van Rijsbergen / SMART core function words with
+a handful of tokens that behave as noise in bibliographic XML (``proc``,
+``conf``, ``intl`` ...).  The set is deliberately self-contained so that the
+reproduction does not depend on external resources.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+ENGLISH_STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at be
+    because been before being below between both but by can cannot could
+    couldn't did didn't do does doesn't doing don't down during each few for
+    from further had hadn't has hasn't have haven't having he he'd he'll he's
+    her here here's hers herself him himself his how how's i i'd i'll i'm
+    i've if in into is isn't it it's its itself let's me more most mustn't my
+    myself no nor not of off on once only or other ought our ours ourselves
+    out over own same shan't she she'd she'll she's should shouldn't so some
+    such than that that's the their theirs them themselves then there there's
+    these they they'd they'll they're they've this those through to too under
+    until up very was wasn't we we'd we'll we're we've were weren't what
+    what's when when's where where's which while who who's whom why why's
+    with won't would wouldn't you you'd you'll you're you've your yours
+    yourself yourselves
+    also among however may might must shall upon whose within without yet
+    et al etc ie eg vs via per
+    """.split()
+)
+
+#: Extra noise tokens common in bibliographic / technical XML corpora.
+DOMAIN_STOPWORDS: FrozenSet[str] = frozenset(
+    {"proc", "conf", "intl", "int", "vol", "pp", "eds", "ed", "th", "st", "nd", "rd"}
+)
+
+
+def default_stopwords() -> FrozenSet[str]:
+    """Return the default stopword set (English core + domain noise)."""
+    return ENGLISH_STOPWORDS | DOMAIN_STOPWORDS
+
+
+def remove_stopwords(tokens: Iterable[str], stopwords: FrozenSet[str] = None) -> list:
+    """Filter *tokens*, dropping any that belong to the stopword set."""
+    if stopwords is None:
+        stopwords = default_stopwords()
+    return [token for token in tokens if token not in stopwords]

@@ -1,0 +1,132 @@
+"""The :class:`TreeTuple` value object (paper Sec. 3.2).
+
+A tree tuple is a *maximal* subtree ``tau`` of an XML tree ``XT`` such that
+every (tag or complete) path of ``XT`` has an answer of size at most one on
+``tau``.  Tree tuples resemble relational tuples: each complete path plays
+the role of an attribute and its (single) answer plays the role of the value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.xmlmodel.paths import XMLPath, complete_paths, path_answer
+from repro.xmlmodel.tree import XMLTree
+
+
+@dataclass(frozen=True)
+class TreeTuple:
+    """A tree tuple extracted from an XML tree.
+
+    Attributes
+    ----------
+    tree:
+        The tree-tuple subtree itself (node identifiers are preserved from
+        the original document tree, as in the paper's Fig. 3).
+    source_doc_id:
+        Identifier of the originating document.
+    tuple_id:
+        Identifier of the tuple, unique within the originating document
+        (``"<doc_id>#<index>"`` by convention when built by the extractor).
+    """
+
+    tree: XMLTree
+    source_doc_id: str
+    tuple_id: str
+
+    # ------------------------------------------------------------------ #
+    # Relational view
+    # ------------------------------------------------------------------ #
+    def paths(self) -> FrozenSet[XMLPath]:
+        """Return ``P_tau``: the set of complete paths of the tuple."""
+        return frozenset(complete_paths(self.tree))
+
+    def answer(self, path: XMLPath) -> Optional[str]:
+        """Return the single string answer of a complete *path*, or ``None``.
+
+        By the defining property of tree tuples the answer set has size at
+        most one, so it is safe to collapse it to a scalar.
+        """
+        values = path_answer(path, self.tree)
+        if not values:
+            return None
+        if len(values) > 1:  # pragma: no cover - guarded by extraction invariant
+            raise ValueError(
+                f"tree tuple {self.tuple_id} has a non-functional path {path}"
+            )
+        return next(iter(values))
+
+    def as_pairs(self) -> List[Tuple[XMLPath, str]]:
+        """Return sorted (complete path, answer) pairs -- the relational view."""
+        pairs = []
+        for path in sorted(self.paths()):
+            value = self.answer(path)
+            if value is not None:
+                pairs.append((path, value))
+        return pairs
+
+    def as_dict(self) -> Dict[str, str]:
+        """Return the relational view keyed by the textual path form."""
+        return {str(path): value for path, value in self.as_pairs()}
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def leaf_count(self) -> int:
+        """Return the number of leaves (equivalently, of complete paths
+        counted with multiplicity one, since answers are functional)."""
+        return self.tree.leaf_count()
+
+    def node_ids(self) -> FrozenSet[int]:
+        """Return the identifiers of the nodes that make up the tuple."""
+        return frozenset(node.node_id for node in self.tree.iter_nodes())
+
+    def __len__(self) -> int:
+        return self.leaf_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TreeTuple({self.tuple_id}, {self.leaf_count()} leaves)"
+
+
+def is_tree_tuple(subtree: XMLTree, original: XMLTree) -> bool:
+    """Check the defining property: every path of *original* has an answer of
+    size at most one on *subtree* (Sec. 3.2).
+
+    Both tag paths and complete paths must be functional.  This predicate is
+    used by tests and by the property-based verification of the extractor; it
+    intentionally favours clarity over speed.
+    """
+    # Collect every path (tag and complete) of the original tree.
+    seen_paths = set()
+    for node in original.iter_nodes():
+        seen_paths.add(XMLPath.for_node(node))
+    for path in seen_paths:
+        if len(path_answer(path, subtree)) > 1:
+            return False
+    return True
+
+
+def is_maximal_tree_tuple(subtree: XMLTree, original: XMLTree) -> bool:
+    """Check maximality: no node of *original* can be added to *subtree*
+    while keeping the tree-tuple property.
+
+    A candidate node is addable when its parent already belongs to the
+    subtree; adding it must break functionality for the subtree to be maximal.
+    """
+    if not is_tree_tuple(subtree, original):
+        return False
+    kept = {node.node_id for node in subtree.iter_nodes()}
+    for node in original.iter_nodes():
+        if node.node_id in kept or node.parent is None:
+            continue
+        if node.parent.node_id not in kept:
+            continue
+        # Try to add this node together with its whole subtree? Maximality in
+        # the paper is node-wise: a maximal subtree cannot be extended by any
+        # single node.  Adding `node` alone is the weakest extension, so if it
+        # keeps functionality the subtree is not maximal.
+        extended = original.restricted_to(kept | {node.node_id})
+        if is_tree_tuple(extended, original):
+            return False
+    return True

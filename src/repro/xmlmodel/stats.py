@@ -1,0 +1,101 @@
+"""Descriptive statistics for XML trees and collections.
+
+The paper reports collection-level figures such as the number of documents,
+transactions, distinct items, leaf nodes, maximum fan-out and average depth
+(Sec. 5.2).  This module computes the tree-level half of those statistics so
+dataset generators and experiments can report comparable profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.xmlmodel.paths import complete_paths, maximal_tag_paths
+from repro.xmlmodel.tree import XMLTree
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Per-tree structural statistics."""
+
+    doc_id: str
+    node_count: int
+    leaf_count: int
+    depth: int
+    max_fanout: int
+    distinct_tags: int
+    complete_path_count: int
+    tag_path_count: int
+
+
+@dataclass
+class CollectionStats:
+    """Aggregate structural statistics for a collection of XML trees."""
+
+    document_count: int = 0
+    node_count: int = 0
+    leaf_count: int = 0
+    max_depth: int = 0
+    max_fanout: int = 0
+    distinct_tags: int = 0
+    distinct_complete_paths: int = 0
+    distinct_tag_paths: int = 0
+    average_depth: float = 0.0
+    per_tree: List[TreeStats] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the aggregate statistics as a plain dictionary."""
+        return {
+            "document_count": self.document_count,
+            "node_count": self.node_count,
+            "leaf_count": self.leaf_count,
+            "max_depth": self.max_depth,
+            "max_fanout": self.max_fanout,
+            "distinct_tags": self.distinct_tags,
+            "distinct_complete_paths": self.distinct_complete_paths,
+            "distinct_tag_paths": self.distinct_tag_paths,
+            "average_depth": self.average_depth,
+        }
+
+
+def tree_stats(tree: XMLTree) -> TreeStats:
+    """Compute :class:`TreeStats` for a single tree."""
+    tags = {node.label for node in tree.iter_nodes() if node.is_element}
+    return TreeStats(
+        doc_id=tree.doc_id or "",
+        node_count=tree.node_count(),
+        leaf_count=tree.leaf_count(),
+        depth=tree.depth(),
+        max_fanout=tree.max_fanout(),
+        distinct_tags=len(tags),
+        complete_path_count=len(complete_paths(tree)),
+        tag_path_count=len(maximal_tag_paths(tree)),
+    )
+
+
+def collection_stats(trees: Iterable[XMLTree]) -> CollectionStats:
+    """Compute aggregate statistics for a collection of trees."""
+    stats = CollectionStats()
+    all_tags = set()
+    all_complete = set()
+    all_tag_paths = set()
+    depth_sum = 0
+    for tree in trees:
+        per = tree_stats(tree)
+        stats.per_tree.append(per)
+        stats.document_count += 1
+        stats.node_count += per.node_count
+        stats.leaf_count += per.leaf_count
+        stats.max_depth = max(stats.max_depth, per.depth)
+        stats.max_fanout = max(stats.max_fanout, per.max_fanout)
+        depth_sum += per.depth
+        all_tags |= {node.label for node in tree.iter_nodes() if node.is_element}
+        all_complete |= complete_paths(tree)
+        all_tag_paths |= maximal_tag_paths(tree)
+    stats.distinct_tags = len(all_tags)
+    stats.distinct_complete_paths = len(all_complete)
+    stats.distinct_tag_paths = len(all_tag_paths)
+    if stats.document_count:
+        stats.average_depth = depth_sum / stats.document_count
+    return stats

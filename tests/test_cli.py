@@ -1,0 +1,108 @@
+"""Tests for the ``cxk`` command line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.dblp import generate_dblp
+from repro.xmlmodel.serializer import serialize
+
+
+class TestParser:
+    def test_all_subcommands_are_registered(self):
+        parser = build_parser()
+        subparsers = [
+            action for action in parser._actions if action.dest == "command"
+        ][0]
+        assert set(subparsers.choices) == {
+            "datasets",
+            "cluster",
+            "figure7",
+            "figure8",
+            "table1",
+            "table2",
+        }
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestDatasetsCommand:
+    def test_prints_the_four_corpora(self, capsys):
+        assert main(["datasets", "--scale", "0.15"]) == 0
+        output = capsys.readouterr().out
+        for name in ("DBLP", "IEEE", "Shakespeare", "Wikipedia"):
+            assert name in output
+
+
+class TestClusterCommand:
+    def test_cluster_synthetic_corpus(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--corpus", "DBLP",
+                "--goal", "content",
+                "--peers", "2",
+                "--scale", "0.15",
+                "--gamma", "0.7",
+                "--max-iterations", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "CXK-means" in output
+        assert "F-measure" in output
+
+    def test_cluster_centralized_algorithm(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--corpus", "DBLP",
+                "--algorithm", "xk",
+                "--goal", "content",
+                "--scale", "0.15",
+                "--gamma", "0.7",
+                "--max-iterations", "3",
+            ]
+        )
+        assert code == 0
+        assert "XK-means" in capsys.readouterr().out
+
+    def test_cluster_xml_directory(self, tmp_path, capsys):
+        corpus = generate_dblp(num_documents=10, seed=0)
+        for tree in corpus.trees:
+            (tmp_path / f"{tree.doc_id}.xml").write_text(serialize(tree))
+        code = main(
+            [
+                "cluster",
+                "--xml-dir", str(tmp_path),
+                "--k", "3",
+                "--peers", "2",
+                "--gamma", "0.7",
+                "--max-iterations", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "clusters" in output
+
+    def test_missing_xml_directory_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--xml-dir", str(tmp_path / "empty")])
+
+
+class TestExperimentCommands:
+    def test_table1_structure_only(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--scale", "0.15",
+                "--nodes", "1", "2",
+                "--goals", "structure",
+                "--max-iterations", "2",
+            ]
+        )
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out

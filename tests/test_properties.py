@@ -1,0 +1,292 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+The properties cover the layers whose correctness everything else rests on:
+the XML parser / serializer round-trip, the tree tuple decomposition
+invariants, sparse-vector algebra, the similarity measures' metric-like
+properties, the F-measure bounds, and the partitioning invariants.
+"""
+
+from __future__ import annotations
+
+import math
+import string
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.partition import partition_equally, partition_unequally
+from repro.evaluation.fmeasure import overall_f_measure
+from repro.similarity.item import SimilarityConfig, item_similarity
+from repro.similarity.structural import tag_path_similarity
+from repro.similarity.transaction import SimilarityEngine
+from repro.text.stemmer import stem
+from repro.text.tokenize import tokenize
+from repro.text.vector import SparseVector, merge_vectors
+from repro.transactions.items import make_synthetic_item
+from repro.transactions.transaction import make_transaction, union_size
+from repro.treetuples.decompose import count_tree_tuples, extract_tree_tuples
+from repro.treetuples.tupleobj import is_tree_tuple
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.paths import XMLPath, complete_paths, path_answer
+from repro.xmlmodel.serializer import serialize, to_compact_string
+from repro.xmlmodel.tree import XMLTreeBuilder
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+TAG_NAMES = st.sampled_from(
+    ["a", "b", "c", "item", "title", "author", "sec", "entry", "node"]
+)
+TEXT_VALUES = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,;-",
+    min_size=0,
+    max_size=24,
+)
+
+
+@st.composite
+def xml_trees(draw, max_depth: int = 3, max_children: int = 3):
+    """Generate random small XML trees through the builder API."""
+    builder = XMLTreeBuilder(doc_id="random")
+    counter = [0]
+
+    def build(depth: int) -> None:
+        builder.start(draw(TAG_NAMES))
+        if draw(st.booleans()):
+            builder.attribute("id", str(counter[0]))
+            counter[0] += 1
+        children = draw(st.integers(min_value=0, max_value=max_children))
+        if depth >= max_depth or children == 0:
+            builder.text(draw(TEXT_VALUES) or "x")
+        else:
+            for _ in range(children):
+                build(depth + 1)
+        builder.end()
+
+    build(0)
+    return builder.finish()
+
+
+@st.composite
+def sparse_vectors(draw, max_terms: int = 6):
+    terms = draw(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=30),
+            # weights stay clear of the subnormal range so norms cannot
+            # underflow to zero (real ttf.itf weights are O(1))
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            max_size=max_terms,
+        )
+    )
+    return SparseVector(terms)
+
+
+@st.composite
+def tree_tuple_items(draw):
+    depth = draw(st.integers(min_value=1, max_value=3))
+    steps = [draw(TAG_NAMES) for _ in range(depth)] + ["S"]
+    answer = draw(TEXT_VALUES) or "v"
+    return make_synthetic_item(XMLPath(tuple(steps)), answer, vector=draw(sparse_vectors()))
+
+
+@st.composite
+def transactions(draw, max_items: int = 5):
+    count = draw(st.integers(min_value=1, max_value=max_items))
+    items = [draw(tree_tuple_items()) for _ in range(count)]
+    return make_transaction(f"tr{draw(st.integers(0, 10_000))}", items)
+
+
+# --------------------------------------------------------------------------- #
+# XML model properties
+# --------------------------------------------------------------------------- #
+class TestXMLProperties:
+    @given(xml_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_serialize_parse_round_trip(self, tree):
+        assert parse_xml(serialize(tree)) == tree
+        assert parse_xml(to_compact_string(tree)) == tree
+
+    @given(xml_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_node_ids_are_unique_and_preordered(self, tree):
+        ids = [node.node_id for node in tree.iter_nodes()]
+        assert len(ids) == len(set(ids))
+        assert ids == sorted(ids)
+
+    @given(xml_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_leaves_carry_values_and_elements_do_not(self, tree):
+        for node in tree.iter_nodes():
+            if node.is_element:
+                assert node.value is None
+            else:
+                assert node.value is not None
+
+
+# --------------------------------------------------------------------------- #
+# Tree tuple properties
+# --------------------------------------------------------------------------- #
+class TestTreeTupleProperties:
+    @given(xml_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_extraction_matches_count_and_functionality(self, tree):
+        assume(count_tree_tuples(tree) <= 40)
+        tuples = extract_tree_tuples(tree)
+        assert len(tuples) == count_tree_tuples(tree)
+        for tree_tuple in tuples:
+            assert is_tree_tuple(tree_tuple.tree, tree)
+            # functional answers: every complete path of the tuple has at
+            # most one value
+            for path in complete_paths(tree_tuple.tree):
+                assert len(path_answer(path, tree_tuple.tree)) == 1
+
+    @given(xml_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_every_leaf_appears_in_at_least_one_tuple(self, tree):
+        assume(count_tree_tuples(tree) <= 40)
+        tuples = extract_tree_tuples(tree)
+        covered = set()
+        for tree_tuple in tuples:
+            covered |= {n.node_id for n in tree_tuple.tree.iter_leaves()}
+        assert covered == {n.node_id for n in tree.iter_leaves()}
+
+
+# --------------------------------------------------------------------------- #
+# Text / vector properties
+# --------------------------------------------------------------------------- #
+class TestVectorProperties:
+    @given(sparse_vectors(), sparse_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_cosine_is_symmetric_and_bounded(self, u, v):
+        assert 0.0 <= u.cosine(v) <= 1.0
+        assert math.isclose(u.cosine(v), v.cosine(u), abs_tol=1e-12)
+
+    @given(sparse_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_cosine_with_self_is_one_or_zero(self, u):
+        expected = 1.0 if u else 0.0
+        assert math.isclose(u.cosine(u), expected, abs_tol=1e-9)
+
+    @given(sparse_vectors(), sparse_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_commutative(self, u, v):
+        assert merge_vectors([u, v]) == merge_vectors([v, u])
+
+    @given(sparse_vectors(), st.floats(min_value=0.1, max_value=5.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_scales_the_norm(self, u, factor):
+        assert math.isclose(u.scaled(factor).norm(), u.norm() * factor, rel_tol=1e-9)
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_tokenize_output_is_lowercase(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+
+    @given(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=15))
+    @settings(max_examples=80, deadline=None)
+    def test_stemming_never_grows_a_word(self, word):
+        assert len(stem(word)) <= len(word)
+
+
+# --------------------------------------------------------------------------- #
+# Similarity properties
+# --------------------------------------------------------------------------- #
+class TestSimilarityProperties:
+    @given(
+        st.lists(TAG_NAMES, min_size=1, max_size=4),
+        st.lists(TAG_NAMES, min_size=1, max_size=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_tag_path_similarity_bounds_and_symmetry(self, p, q):
+        value = tag_path_similarity(p, q)
+        assert 0.0 <= value <= 1.0
+        assert math.isclose(value, tag_path_similarity(q, p), abs_tol=1e-12)
+        assert math.isclose(tag_path_similarity(p, p), 1.0)
+
+    @given(tree_tuple_items(), tree_tuple_items(), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_item_similarity_bounds_and_symmetry(self, a, b, f):
+        config = SimilarityConfig(f=f, gamma=0.5)
+        value = item_similarity(a, b, config)
+        assert 0.0 <= value <= 1.0
+        assert math.isclose(value, item_similarity(b, a, config), abs_tol=1e-12)
+
+    @given(transactions(), transactions())
+    @settings(max_examples=30, deadline=None)
+    def test_transaction_similarity_bounds_and_symmetry(self, tr1, tr2):
+        engine = SimilarityEngine(SimilarityConfig(f=0.5, gamma=0.7))
+        value = engine.transaction_similarity(tr1, tr2)
+        assert 0.0 <= value <= 1.0
+        assert math.isclose(
+            value, engine.transaction_similarity(tr2, tr1), abs_tol=1e-12
+        )
+
+    @given(transactions())
+    @settings(max_examples=30, deadline=None)
+    def test_transaction_self_similarity_is_one(self, tr):
+        engine = SimilarityEngine(SimilarityConfig(f=0.5, gamma=0.9))
+        assert math.isclose(engine.transaction_similarity(tr, tr), 1.0)
+
+    @given(transactions(), transactions())
+    @settings(max_examples=30, deadline=None)
+    def test_shared_items_never_exceed_union(self, tr1, tr2):
+        engine = SimilarityEngine(SimilarityConfig(f=0.5, gamma=0.6))
+        shared = engine.gamma_shared_items(tr1, tr2)
+        assert len(shared) <= union_size(tr1, tr2)
+        assert shared <= (tr1.item_set() | tr2.item_set())
+
+
+# --------------------------------------------------------------------------- #
+# Evaluation and partitioning properties
+# --------------------------------------------------------------------------- #
+class TestEvaluationProperties:
+    @given(
+        st.lists(st.sampled_from(["A", "B", "C"]), min_size=2, max_size=30),
+        st.integers(min_value=1, max_value=4),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_f_measure_is_bounded_and_perfect_for_identity(self, labels, k, rng):
+        reference = {f"t{i}": label for i, label in enumerate(labels)}
+        ids = list(reference)
+        rng.shuffle(ids)
+        clusters = [ids[i::k] for i in range(k)]
+        value = overall_f_measure(clusters, reference)
+        assert 0.0 <= value <= 1.0
+        by_class = {}
+        for transaction_id, label in reference.items():
+            by_class.setdefault(label, []).append(transaction_id)
+        assert math.isclose(overall_f_measure(list(by_class.values()), reference), 1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partitioning_is_a_partition(self, count, nodes, seed):
+        items = [
+            make_transaction(
+                f"tr{i}", [make_synthetic_item(XMLPath.parse("r.a.S"), str(i))]
+            )
+            for i in range(count)
+        ]
+        for chunks in (
+            partition_equally(items, nodes, seed=seed),
+            partition_unequally(items, nodes, seed=seed),
+        ):
+            assert len(chunks) == nodes
+            flat = [t.transaction_id for chunk in chunks for t in chunk]
+            assert sorted(flat) == sorted(t.transaction_id for t in items)
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_equal_partition_sizes_differ_by_at_most_one(self, count, nodes):
+        items = [
+            make_transaction(
+                f"tr{i}", [make_synthetic_item(XMLPath.parse("r.a.S"), str(i))]
+            )
+            for i in range(count)
+        ]
+        sizes = [len(chunk) for chunk in partition_equally(items, nodes)]
+        assert max(sizes) - min(sizes) <= 1

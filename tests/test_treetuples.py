@@ -1,0 +1,156 @@
+"""Tests for tree tuple decomposition (repro.treetuples).
+
+The assertions mirror the paper's running example: the Fig. 2 document
+decomposes into exactly the three tree tuples of Fig. 3.
+"""
+
+import pytest
+
+from repro.treetuples.decompose import (
+    collection_tree_tuples,
+    count_tree_tuples,
+    extract_tree_tuples,
+    iter_tree_tuples,
+)
+from repro.treetuples.tupleobj import is_maximal_tree_tuple, is_tree_tuple
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.paths import XMLPath
+from repro.xmlmodel.tree import tree_from_nested
+
+
+class TestPaperExample:
+    def test_count_matches_paper(self, paper_tree):
+        assert count_tree_tuples(paper_tree) == 3
+
+    def test_three_tuples_are_extracted(self, paper_tree):
+        tuples = extract_tree_tuples(paper_tree)
+        assert len(tuples) == 3
+        assert {t.tuple_id for t in tuples} == {
+            "dblp-example#0",
+            "dblp-example#1",
+            "dblp-example#2",
+        }
+
+    def test_every_tuple_has_six_leaves(self, paper_tree):
+        # Fig. 4: each transaction has six items (key, author, title, year,
+        # booktitle, pages)
+        for tree_tuple in extract_tree_tuples(paper_tree):
+            assert tree_tuple.leaf_count() == 6
+
+    def test_authors_are_split_across_tuples(self, paper_tree):
+        tuples = extract_tree_tuples(paper_tree)
+        author_path = XMLPath.parse("dblp.inproceedings.author.S")
+        authors = sorted(t.answer(author_path) for t in tuples)
+        # Zaki appears in two tuples (once per paper), Aggarwal in one
+        assert authors == ["C.C. Aggarwal", "M.J. Zaki", "M.J. Zaki"]
+
+    def test_second_paper_forms_its_own_tuple(self, paper_tree):
+        tuples = extract_tree_tuples(paper_tree)
+        key_path = XMLPath.parse("dblp.inproceedings.@key")
+        keys = [t.answer(key_path) for t in tuples]
+        assert keys.count("conf/kdd/ZakiA03") == 2
+        assert keys.count("conf/kdd/Zaki02") == 1
+
+    def test_tuples_preserve_node_ids(self, paper_tree):
+        tuples = extract_tree_tuples(paper_tree)
+        for tree_tuple in tuples:
+            assert tree_tuple.node_ids() <= {n.node_id for n in paper_tree.iter_nodes()}
+
+    def test_tuples_satisfy_defining_property(self, paper_tree):
+        for tree_tuple in extract_tree_tuples(paper_tree):
+            assert is_tree_tuple(tree_tuple.tree, paper_tree)
+            assert is_maximal_tree_tuple(tree_tuple.tree, paper_tree)
+
+    def test_pruned_subtree_is_not_maximal(self, paper_tree):
+        # the paper's example: removing node n3 (@key) breaks maximality
+        tuples = extract_tree_tuples(paper_tree)
+        first = tuples[0]
+        pruned_ids = first.node_ids() - {3}
+        pruned = paper_tree.restricted_to(pruned_ids)
+        assert is_tree_tuple(pruned, paper_tree)
+        assert not is_maximal_tree_tuple(pruned, paper_tree)
+
+
+class TestProductConstruction:
+    def test_single_record_yields_one_tuple(self):
+        tree = tree_from_nested(
+            ["dblp", ["article", ["author", "A"], ["title", "T"]]], doc_id="single"
+        )
+        assert count_tree_tuples(tree) == 1
+        assert len(extract_tree_tuples(tree)) == 1
+
+    def test_repeated_siblings_multiply(self):
+        tree = tree_from_nested(
+            ["r", ["a", "1"], ["a", "2"], ["b", "x"], ["b", "y"], ["b", "z"]],
+            doc_id="grid",
+        )
+        # 2 choices for 'a' times 3 choices for 'b'
+        assert count_tree_tuples(tree) == 6
+        assert len(extract_tree_tuples(tree)) == 6
+
+    def test_nested_repetition(self):
+        tree = tree_from_nested(
+            ["r", ["sec", ["p", "1"], ["p", "2"]], ["sec", ["p", "3"]]],
+            doc_id="nested",
+        )
+        # pick one sec; first sec contributes 2 tuples, second contributes 1
+        assert count_tree_tuples(tree) == 3
+
+    def test_extraction_matches_count_on_random_shapes(self):
+        specs = [
+            ["r", ["a", "1"]],
+            ["r", ["a", "1"], ["a", "2"]],
+            ["r", ["x", ["y", "1"], ["y", "2"]], ["z", "q"]],
+            ["r", ["x", ["y", "1"]], ["x", ["y", "2"], ["y", "3"]]],
+        ]
+        for index, spec in enumerate(specs):
+            tree = tree_from_nested(spec, doc_id=f"shape{index}")
+            assert len(extract_tree_tuples(tree)) == count_tree_tuples(tree)
+
+    def test_limit_bounds_materialisation(self):
+        tree = tree_from_nested(
+            ["r"] + [["a", str(i)] for i in range(6)] + [["b", str(i)] for i in range(6)],
+            doc_id="big",
+        )
+        assert count_tree_tuples(tree) == 36
+        limited = extract_tree_tuples(tree, limit=10)
+        assert len(limited) == 10
+        for tree_tuple in limited:
+            assert is_tree_tuple(tree_tuple.tree, tree)
+
+    def test_every_leaf_is_covered_by_some_tuple(self, paper_tree):
+        tuples = extract_tree_tuples(paper_tree)
+        covered = set()
+        for tree_tuple in tuples:
+            covered |= {n.node_id for n in tree_tuple.tree.iter_leaves()}
+        assert covered == {n.node_id for n in paper_tree.iter_leaves()}
+
+
+class TestTreeTupleObject:
+    def test_relational_view(self, paper_tree):
+        first = extract_tree_tuples(paper_tree)[0]
+        mapping = first.as_dict()
+        assert mapping["dblp.inproceedings.booktitle.S"] == "KDD"
+        assert len(mapping) == 6
+
+    def test_answer_of_missing_path_is_none(self, paper_tree):
+        first = extract_tree_tuples(paper_tree)[0]
+        assert first.answer(XMLPath.parse("dblp.article.title.S")) is None
+
+    def test_len_is_leaf_count(self, paper_tree):
+        first = extract_tree_tuples(paper_tree)[0]
+        assert len(first) == first.leaf_count() == 6
+
+    def test_as_pairs_is_sorted_by_path(self, paper_tree):
+        first = extract_tree_tuples(paper_tree)[0]
+        paths = [p for p, _ in first.as_pairs()]
+        assert paths == sorted(paths)
+
+
+class TestCollectionHelpers:
+    def test_iter_and_collect_over_collection(self, paper_tree):
+        other = parse_xml("<dblp><article><title>T</title></article></dblp>", doc_id="o")
+        tuples = collection_tree_tuples([paper_tree, other])
+        assert len(tuples) == 4
+        assert len(list(iter_tree_tuples([paper_tree, other]))) == 4
+        assert {t.source_doc_id for t in tuples} == {"dblp-example", "o"}

@@ -1,0 +1,154 @@
+"""Tests for XML paths and answers (repro.xmlmodel.paths)."""
+
+import pytest
+
+from repro.xmlmodel.errors import XMLPathError
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.paths import (
+    XMLPath,
+    all_tag_paths,
+    apply_path,
+    collection_complete_paths,
+    collection_tag_paths,
+    complete_paths,
+    depth_of_paths,
+    leaf_paths_with_nodes,
+    maximal_tag_paths,
+    path_answer,
+    path_answers_by_path,
+)
+
+
+class TestXMLPathObject:
+    def test_parse_and_str_round_trip(self):
+        path = XMLPath.parse("dblp.inproceedings.author.S")
+        assert str(path) == "dblp.inproceedings.author.S"
+        assert path.length == 4
+
+    def test_of_builds_from_steps(self):
+        assert XMLPath.of("a", "b").steps == ("a", "b")
+
+    def test_complete_vs_tag_path(self):
+        assert XMLPath.parse("dblp.inproceedings.@key").is_complete
+        assert XMLPath.parse("dblp.inproceedings.title.S").is_complete
+        assert XMLPath.parse("dblp.inproceedings.title").is_tag_path
+
+    def test_tag_path_strips_trailing_leaf_step(self):
+        complete = XMLPath.parse("dblp.inproceedings.title.S")
+        assert complete.tag_path() == XMLPath.parse("dblp.inproceedings.title")
+        tag = XMLPath.parse("dblp.inproceedings")
+        assert tag.tag_path() is tag
+
+    def test_tag_path_is_cached(self):
+        path = XMLPath.parse("a.b.S")
+        assert path.tag_path() is path.tag_path()
+
+    def test_parent_and_child(self):
+        path = XMLPath.parse("a.b")
+        assert path.parent() == XMLPath.parse("a")
+        assert path.child("c") == XMLPath.parse("a.b.c")
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(XMLPathError):
+            XMLPath.parse("a").parent()
+
+    def test_startswith(self):
+        assert XMLPath.parse("a.b.c").startswith(XMLPath.parse("a.b"))
+        assert not XMLPath.parse("a.b").startswith(XMLPath.parse("a.c"))
+
+    def test_empty_path_is_rejected(self):
+        with pytest.raises(XMLPathError):
+            XMLPath(())
+        with pytest.raises(XMLPathError):
+            XMLPath.parse("")
+
+    def test_interior_attribute_step_is_rejected(self):
+        with pytest.raises(XMLPathError):
+            XMLPath.of("a", "@key", "b")
+
+    def test_single_step_complete_path_has_no_tag_prefix(self):
+        with pytest.raises(XMLPathError):
+            XMLPath.of("@key").tag_path()
+
+    def test_paths_are_hashable_and_ordered(self):
+        a = XMLPath.parse("a.b")
+        b = XMLPath.parse("a.c")
+        assert len({a, XMLPath.parse("a.b"), b}) == 2
+        assert a < b
+
+    def test_hash_is_stable_and_equal_for_equal_paths(self):
+        assert hash(XMLPath.parse("x.y.S")) == hash(XMLPath.parse("x.y.S"))
+
+
+class TestPathApplication:
+    def test_tag_path_answer_is_node_id_set(self, paper_tree):
+        path = XMLPath.parse("dblp.inproceedings.title")
+        answer = path_answer(path, paper_tree)
+        # the paper reports {n8, n20} for this path
+        assert answer == frozenset({8, 20})
+
+    def test_complete_path_answer_is_string_set(self, paper_tree):
+        path = XMLPath.parse("dblp.inproceedings.author.S")
+        assert path_answer(path, paper_tree) == frozenset({"M.J. Zaki", "C.C. Aggarwal"})
+
+    def test_attribute_path_answer(self, paper_tree):
+        path = XMLPath.parse("dblp.inproceedings.@key")
+        assert path_answer(path, paper_tree) == frozenset(
+            {"conf/kdd/ZakiA03", "conf/kdd/Zaki02"}
+        )
+
+    def test_non_matching_path_yields_empty_answer(self, paper_tree):
+        assert path_answer(XMLPath.parse("dblp.article.title"), paper_tree) == frozenset()
+        assert path_answer(XMLPath.parse("other.inproceedings"), paper_tree) == frozenset()
+
+    def test_apply_path_returns_nodes_in_document_order(self, paper_tree):
+        nodes = apply_path(XMLPath.parse("dblp.inproceedings.author"), paper_tree)
+        assert [n.node_id for n in nodes] == [4, 6, 18]
+
+
+class TestPathCollections:
+    def test_complete_paths_of_paper_example(self, paper_tree):
+        paths = {str(p) for p in complete_paths(paper_tree)}
+        assert paths == {
+            "dblp.inproceedings.@key",
+            "dblp.inproceedings.author.S",
+            "dblp.inproceedings.title.S",
+            "dblp.inproceedings.year.S",
+            "dblp.inproceedings.booktitle.S",
+            "dblp.inproceedings.pages.S",
+        }
+
+    def test_maximal_tag_paths_drop_leaf_steps(self, paper_tree):
+        paths = {str(p) for p in maximal_tag_paths(paper_tree)}
+        assert "dblp.inproceedings.author" in paths
+        assert "dblp.inproceedings" in paths  # from the @key attribute
+        assert all(not p.endswith(".S") and "@" not in p for p in paths)
+
+    def test_all_tag_paths_include_every_element(self, paper_tree):
+        paths = {str(p) for p in all_tag_paths(paper_tree)}
+        assert "dblp" in paths
+        assert "dblp.inproceedings.pages" in paths
+
+    def test_leaf_paths_with_nodes_aligns_with_leaves(self, paper_tree):
+        pairs = leaf_paths_with_nodes(paper_tree)
+        assert len(pairs) == paper_tree.leaf_count()
+        path, node = pairs[0]
+        assert str(path) == "dblp.inproceedings.@key"
+        assert node.node_id == 3
+
+    def test_path_answers_by_path_covers_all_complete_paths(self, paper_tree):
+        answers = path_answers_by_path(paper_tree)
+        assert set(answers.keys()) == complete_paths(paper_tree)
+        assert answers[XMLPath.parse("dblp.inproceedings.booktitle.S")] == frozenset({"KDD"})
+
+    def test_collection_level_unions(self, paper_tree):
+        other = parse_xml("<dblp><article><title>X</title></article></dblp>", doc_id="o")
+        union = collection_complete_paths([paper_tree, other])
+        assert XMLPath.parse("dblp.article.title.S") in union
+        assert XMLPath.parse("dblp.inproceedings.title.S") in union
+        tag_union = collection_tag_paths([paper_tree, other])
+        assert XMLPath.parse("dblp.article.title") in tag_union
+
+    def test_depth_of_paths(self, paper_tree):
+        assert depth_of_paths(list(complete_paths(paper_tree))) == 4
+        assert depth_of_paths([]) == 0

@@ -1,0 +1,47 @@
+"""Tests for tree / collection statistics (repro.xmlmodel.stats)."""
+
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.stats import collection_stats, tree_stats
+
+
+class TestTreeStats:
+    def test_paper_example_statistics(self, paper_tree):
+        stats = tree_stats(paper_tree)
+        assert stats.node_count == 27
+        assert stats.leaf_count == 13
+        assert stats.depth == 4
+        assert stats.max_fanout == 7
+        # dblp, inproceedings, author, title, year, booktitle, pages
+        assert stats.distinct_tags == 7
+        assert stats.complete_path_count == 6
+        assert stats.tag_path_count == 6
+
+    def test_doc_id_is_carried(self, paper_tree):
+        assert tree_stats(paper_tree).doc_id == "dblp-example"
+
+
+class TestCollectionStats:
+    def test_aggregation_over_two_documents(self, paper_tree):
+        other = parse_xml(
+            "<dblp><article><title>T</title><journal>J</journal></article></dblp>",
+            doc_id="other",
+        )
+        stats = collection_stats([paper_tree, other])
+        assert stats.document_count == 2
+        assert stats.node_count == 27 + other.node_count()
+        assert stats.leaf_count == 13 + 2
+        assert stats.max_depth == 4
+        assert stats.max_fanout == 7
+        assert stats.distinct_complete_paths == 6 + 2
+        assert stats.average_depth == (4 + 4) / 2
+        assert len(stats.per_tree) == 2
+
+    def test_empty_collection(self):
+        stats = collection_stats([])
+        assert stats.document_count == 0
+        assert stats.average_depth == 0.0
+
+    def test_as_dict_contains_headline_figures(self, paper_tree):
+        stats = collection_stats([paper_tree]).as_dict()
+        assert stats["document_count"] == 1
+        assert stats["distinct_tags"] == 7

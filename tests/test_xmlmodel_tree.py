@@ -1,0 +1,225 @@
+"""Tests for the XML tree model (repro.xmlmodel.tree)."""
+
+import pytest
+
+from repro.xmlmodel.errors import XMLTreeError
+from repro.xmlmodel.tree import XMLNode, XMLTree, XMLTreeBuilder, tree_from_nested
+
+
+def build_small_tree():
+    builder = XMLTree.build("small")
+    builder.start("root")
+    builder.attribute("id", "r1")
+    builder.start("child")
+    builder.text("hello world")
+    builder.end()
+    builder.start("child")
+    builder.text("second child")
+    builder.end()
+    builder.end()
+    return builder.finish()
+
+
+class TestBuilder:
+    def test_node_ids_follow_document_order(self):
+        tree = build_small_tree()
+        labels = [(node.node_id, node.label) for node in tree.iter_nodes()]
+        assert labels == [
+            (1, "root"),
+            (2, "@id"),
+            (3, "child"),
+            (4, "S"),
+            (5, "child"),
+            (6, "S"),
+        ]
+
+    def test_element_shortcut_builds_attribute_and_text(self):
+        builder = XMLTreeBuilder("shortcut")
+        builder.start("root")
+        builder.element("title", "some text", lang="en")
+        builder.end()
+        tree = builder.finish()
+        title = tree.node(2)
+        assert title.label == "title"
+        children = [(c.label, c.value) for c in title.children]
+        assert ("@lang", "en") in children
+        assert ("S", "some text") in children
+
+    def test_unclosed_elements_are_rejected(self):
+        builder = XMLTreeBuilder()
+        builder.start("root")
+        with pytest.raises(XMLTreeError, match="unclosed"):
+            builder.finish()
+
+    def test_end_without_start_is_rejected(self):
+        builder = XMLTreeBuilder()
+        with pytest.raises(XMLTreeError):
+            builder.end()
+
+    def test_second_root_is_rejected(self):
+        builder = XMLTreeBuilder()
+        builder.start("a")
+        builder.end()
+        with pytest.raises(XMLTreeError):
+            builder.start("b")
+
+    def test_attribute_outside_element_is_rejected(self):
+        builder = XMLTreeBuilder()
+        with pytest.raises(XMLTreeError):
+            builder.attribute("id", "1")
+
+    def test_text_outside_element_is_rejected(self):
+        builder = XMLTreeBuilder()
+        with pytest.raises(XMLTreeError):
+            builder.text("orphan")
+
+    def test_empty_builder_has_no_root(self):
+        with pytest.raises(XMLTreeError):
+            XMLTreeBuilder().finish()
+
+
+class TestNodeClassification:
+    def test_leaf_and_element_flags(self):
+        tree = build_small_tree()
+        root = tree.root
+        assert root.is_element and not root.is_leaf
+        attribute = tree.node(2)
+        assert attribute.is_attribute and attribute.is_leaf
+        text = tree.node(4)
+        assert text.is_text and text.is_leaf
+
+    def test_child_elements_excludes_leaves(self):
+        tree = build_small_tree()
+        assert [c.label for c in tree.root.child_elements()] == ["child", "child"]
+
+    def test_depth_and_paths(self):
+        tree = build_small_tree()
+        text = tree.node(4)
+        assert text.depth() == 2
+        assert text.label_path() == ("root", "child", "S")
+        assert [n.node_id for n in text.node_path()] == [1, 3, 4]
+
+    def test_ancestors_iterates_to_root(self):
+        tree = build_small_tree()
+        assert [a.node_id for a in tree.node(4).ancestors()] == [3, 1]
+
+
+class TestTreeAccessors:
+    def test_counts(self, paper_tree):
+        # Fig. 2: dblp + 2 inproceedings + 13 leaves of the first paper's
+        # subtree region + ... => 27 nodes in total (n1..n27)
+        assert paper_tree.node_count() == 27
+        assert paper_tree.leaf_count() == 13
+
+    def test_depth_of_paper_tree(self, paper_tree):
+        # dblp.inproceedings.author.S has length 4
+        assert paper_tree.depth() == 4
+
+    def test_max_fanout(self, paper_tree):
+        # the first inproceedings has key + 2 authors + title + year +
+        # booktitle + pages = 7 children
+        assert paper_tree.max_fanout() == 7
+
+    def test_node_lookup_by_id(self, paper_tree):
+        assert paper_tree.node(1).label == "dblp"
+        with pytest.raises(KeyError):
+            paper_tree.node(999)
+
+    def test_leaves_are_in_document_order(self, paper_tree):
+        leaves = paper_tree.leaves()
+        assert leaves[0].label == "@key"
+        assert leaves[0].value == "conf/kdd/ZakiA03"
+        assert leaves[-1].value == "71-80"
+
+
+class TestTreeTransformations:
+    def test_copy_preserves_ids_and_equality(self):
+        tree = build_small_tree()
+        clone = tree.copy()
+        assert clone == tree
+        assert [n.node_id for n in clone.iter_nodes()] == [
+            n.node_id for n in tree.iter_nodes()
+        ]
+        assert clone is not tree
+
+    def test_restricted_to_drops_other_branches(self):
+        tree = build_small_tree()
+        restricted = tree.restricted_to({1, 3, 4})
+        assert restricted.node_count() == 3
+        assert [n.label for n in restricted.iter_nodes()] == ["root", "child", "S"]
+
+    def test_restricted_to_requires_root(self):
+        tree = build_small_tree()
+        with pytest.raises(XMLTreeError):
+            tree.restricted_to({3, 4})
+
+    def test_map_values_transforms_leaves_only(self):
+        tree = build_small_tree()
+        upper = tree.map_values(str.upper)
+        assert upper.node(4).value == "HELLO WORLD"
+        assert tree.node(4).value == "hello world"
+
+    def test_structure_signature_ignores_node_ids(self):
+        first = tree_from_nested(["root", ["a", "x"], ["b", "y"]])
+        second = tree_from_nested(["root", ["a", "x"], ["b", "y"]])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_different_values_break_equality(self):
+        first = tree_from_nested(["root", ["a", "x"]])
+        second = tree_from_nested(["root", ["a", "z"]])
+        assert first != second
+
+
+class TestTreeValidation:
+    def test_element_with_value_is_rejected(self):
+        root = XMLNode(1, "root")
+        root.value = "oops"
+        with pytest.raises(XMLTreeError):
+            XMLTree(root)
+
+    def test_leaf_with_children_is_rejected(self):
+        root = XMLNode(1, "root")
+        text = XMLNode(2, "S", "x", root)
+        root.children.append(text)
+        bogus = XMLNode(3, "child", None, text)
+        text.children.append(bogus)
+        with pytest.raises(XMLTreeError):
+            XMLTree(root)
+
+    def test_leaf_without_value_is_rejected(self):
+        root = XMLNode(1, "root")
+        attr = XMLNode(2, "@id", None, root)
+        root.children.append(attr)
+        with pytest.raises(XMLTreeError):
+            XMLTree(root)
+
+    def test_root_with_parent_is_rejected(self):
+        fake_parent = XMLNode(99, "x")
+        root = XMLNode(1, "root", None, fake_parent)
+        with pytest.raises(XMLTreeError):
+            XMLTree(root)
+
+
+class TestTreeFromNested:
+    def test_nested_specification(self):
+        tree = tree_from_nested(
+            ["dblp", ["inproceedings", ("@key", "k1"), ["author", "M.J. Zaki"]]],
+            doc_id="nested",
+        )
+        assert tree.doc_id == "nested"
+        assert tree.node_count() == 5
+        labels = [n.label for n in tree.iter_nodes()]
+        assert labels == ["dblp", "inproceedings", "@key", "author", "S"]
+
+    def test_invalid_attribute_spec_is_rejected(self):
+        with pytest.raises(XMLTreeError):
+            tree_from_nested(["root", ("id", "1")])
+
+    def test_empty_spec_is_rejected(self):
+        with pytest.raises(XMLTreeError):
+            tree_from_nested([])
+
+    def test_unsupported_child_type_is_rejected(self):
+        with pytest.raises(XMLTreeError):
+            tree_from_nested(["root", 42])
