@@ -1,0 +1,178 @@
+"""Benchmark B1 -- python vs. numpy similarity backend on the hot path.
+
+Measures the assignment step (``SimilarityEngine.assign_all``: every
+transaction against every cluster representative, the inner loop of
+XK-means / PK-means / CXK-means) and a full XK-means ``fit`` on a synthetic
+generator corpus, once per registered backend, and reports the speedup of
+the vectorized numpy engine over the pure-Python reference.  Both backends
+are verified to produce *identical* assignments before any timing is
+trusted.
+
+Run standalone (no pytest machinery needed)::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py            # full run
+    PYTHONPATH=src python benchmarks/bench_backend.py --quick    # CI smoke
+
+The full run uses the DBLP generator corpus at scale 1.0 (>= 200
+transactions, k >= 5) and fails with a non-zero exit status unless the
+numpy backend is at least ``--min-speedup`` (default 3.0) times faster on
+the assignment step; the quick run shrinks the corpus and only reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List, Optional, Tuple
+
+from repro.core.config import ClusteringConfig
+from repro.core.seeding import select_seed_transactions
+from repro.core.xkmeans import XKMeans
+from repro.datasets.registry import get_dataset
+from repro.similarity.cache import TagPathSimilarityCache
+from repro.similarity.item import SimilarityConfig
+from repro.similarity.transaction import SimilarityEngine
+
+
+def _time_best(function, repeats: int) -> Tuple[float, object]:
+    """Return (best wall-clock seconds, last result) over *repeats* calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_assign(
+    dataset,
+    backend: str,
+    k: int,
+    f: float,
+    gamma: float,
+    seed: int,
+    repeats: int,
+) -> Tuple[float, List[Tuple[int, float]]]:
+    """Time the bulk assignment step for one backend (warm measurements).
+
+    The engine is prepared the way the experiment driver does it: tag-path
+    cache precomputed, corpus compiled.  Returns the best time and the
+    assignment itself (for cross-backend verification).
+    """
+    engine = SimilarityEngine(
+        SimilarityConfig(f=f, gamma=gamma),
+        cache=TagPathSimilarityCache(),
+        backend=backend,
+    )
+    transactions = dataset.transactions
+    engine.cache.precompute(
+        {item.tag_path for transaction in transactions for item in transaction.items}
+    )
+    engine.backend.compile_corpus(transactions)
+    representatives = select_seed_transactions(transactions, k, random.Random(seed))
+    # warm-up outside the timed region (content memo, transient compiles)
+    engine.assign_all(transactions, representatives)
+    best, result = _time_best(
+        lambda: engine.assign_all(transactions, representatives), repeats
+    )
+    return best, result
+
+
+def bench_fit(dataset, backend: str, k: int, f: float, gamma: float, seed: int):
+    """Time one full XK-means fit for one backend."""
+    config = ClusteringConfig(
+        k=k,
+        similarity=SimilarityConfig(f=f, gamma=gamma),
+        seed=seed,
+        max_iterations=6,
+        backend=backend,
+    )
+    algorithm = XKMeans(config)
+    start = time.perf_counter()
+    result = algorithm.fit(dataset.transactions)
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--corpus", default="DBLP", help="synthetic corpus name")
+    parser.add_argument("--scale", type=float, default=1.0, help="corpus scale factor")
+    parser.add_argument("--k", type=int, default=8, help="number of representatives")
+    parser.add_argument("--f", type=float, default=0.5, help="structure/content blend")
+    parser.add_argument("--gamma", type=float, default=0.8, help="gamma threshold")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--repeats", type=int, default=3, help="timed repetitions")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="required numpy-over-python speedup on the assignment step",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small corpus, no speedup requirement",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.35 if args.quick else args.scale
+    repeats = 1 if args.quick else args.repeats
+    dataset = get_dataset(args.corpus, scale=scale, seed=args.seed)
+    transactions = len(dataset.transactions)
+    print(
+        f"corpus={args.corpus} scale={scale} transactions={transactions} "
+        f"k={args.k} f={args.f} gamma={args.gamma}"
+    )
+    if not args.quick and (transactions < 200 or args.k < 5):
+        print("error: the full benchmark requires >= 200 transactions and k >= 5")
+        return 2
+
+    assign_times = {}
+    assignments = {}
+    fit_times = {}
+    fit_results = {}
+    for backend in ("python", "numpy"):
+        assign_times[backend], assignments[backend] = bench_assign(
+            dataset, backend, args.k, args.f, args.gamma, args.seed, repeats
+        )
+        fit_times[backend], fit_results[backend] = bench_fit(
+            dataset, backend, args.k, args.f, args.gamma, args.seed
+        )
+
+    if assignments["python"] != assignments["numpy"]:
+        print("FAIL: backends disagree on the assignment step")
+        return 1
+    partition_python = fit_results["python"].partition()
+    partition_numpy = fit_results["numpy"].partition()
+    if partition_python != partition_numpy:
+        print("FAIL: backends disagree on the fitted clustering")
+        return 1
+    print("parity    : identical assignments and identical fitted clusterings")
+
+    assign_speedup = assign_times["python"] / assign_times["numpy"]
+    fit_speedup = fit_times["python"] / fit_times["numpy"]
+    print(f"{'step':<12}{'python':>12}{'numpy':>12}{'speedup':>10}")
+    print(
+        f"{'assign_all':<12}{assign_times['python']:>11.4f}s{assign_times['numpy']:>11.4f}s"
+        f"{assign_speedup:>9.1f}x"
+    )
+    print(
+        f"{'fit':<12}{fit_times['python']:>11.4f}s{fit_times['numpy']:>11.4f}s"
+        f"{fit_speedup:>9.1f}x"
+    )
+
+    if not args.quick and assign_speedup < args.min_speedup:
+        print(
+            f"FAIL: numpy backend only {assign_speedup:.1f}x faster on assign_all "
+            f"(required: {args.min_speedup:.1f}x)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,16 +27,27 @@ from repro.evaluation.fmeasure import overall_f_measure
 from repro.evaluation.reporting import format_table
 from repro.experiments.figure7 import Figure7Config, run_figure7
 from repro.experiments.figure8 import Figure8Config, run_figure8
-from repro.experiments.runner import make_algorithm
+from repro.experiments.runner import make_algorithm, precompute_similarity
 from repro.experiments.table1 import AccuracyTableConfig, run_table1
 from repro.experiments.table2 import run_table2
+from repro.similarity.backend import DEFAULT_BACKEND, available_backends
 from repro.similarity.item import SimilarityConfig
 from repro.transactions.builder import build_dataset
 from repro.xmlmodel.parser import parse_xml_file
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=DEFAULT_BACKEND,
+        choices=available_backends(),
+        help="similarity backend for the clustering hot path",
+    )
+
+
 def _add_common_experiment_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.5, help="corpus scale factor")
+    _add_backend_argument(parser)
     parser.add_argument("--gamma", type=float, default=0.85, help="gamma threshold")
     parser.add_argument(
         "--nodes",
@@ -110,8 +121,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         similarity=SimilarityConfig(f=args.f, gamma=args.gamma),
         seed=args.seed,
         max_iterations=args.max_iterations,
+        backend=args.backend,
     )
     algorithm = make_algorithm(args.algorithm, config)
+    # populate the tag-path cache (and compile the backend corpus) up front,
+    # the strategy prescribed by the paper's complexity analysis (Sec. 4.3.2)
+    precompute_similarity(algorithm, dataset.transactions)
     if args.algorithm.lower().startswith("xk"):
         result = algorithm.fit(dataset.transactions)
     else:
@@ -119,7 +134,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         parts = partition(dataset.transactions, args.peers, scheme, seed=args.seed)
         result = algorithm.fit(parts)
 
+    cache_stats = algorithm.engine.cache.stats()
     print(f"algorithm : {result.metadata.get('algorithm')}")
+    print(f"backend   : {args.backend}")
+    print(
+        "cache     : entries={entries} hits={hits} misses={misses}".format(**cache_stats)
+    )
     print(f"clusters  : {result.k}  (trash: {result.trash_size()} transactions)")
     print(f"iterations: {result.iterations} (converged: {result.converged})")
     print(f"elapsed   : {result.elapsed_seconds:.2f}s")
@@ -142,6 +162,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         gamma=args.gamma,
         seeds=(args.seed,),
         max_iterations=args.max_iterations,
+        backend=args.backend,
     )
     print(run_figure7(config).report())
     return 0
@@ -154,6 +175,7 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
         gamma=args.gamma,
         seeds=(args.seed,),
         max_iterations=args.max_iterations,
+        backend=args.backend,
     )
     print(run_figure8(config).report())
     return 0
@@ -167,6 +189,7 @@ def _cmd_table(args: argparse.Namespace, table_number: int) -> int:
         seeds=(args.seed,),
         max_iterations=args.max_iterations,
         goals=tuple(args.goals),
+        backend=args.backend,
     )
     if table_number == 1:
         result = run_table1(config)
@@ -201,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--scale", type=float, default=0.5)
     cluster_parser.add_argument("--seed", type=int, default=0)
     cluster_parser.add_argument("--max-iterations", type=int, default=6)
+    _add_backend_argument(cluster_parser)
     cluster_parser.set_defaults(handler=_cmd_cluster)
 
     figure7_parser = subparsers.add_parser("figure7", help="reproduce Figure 7")

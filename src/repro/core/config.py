@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.similarity.item import SimilarityConfig
@@ -31,6 +31,10 @@ class ClusteringConfig:
     max_representative_items:
         Optional cap on the number of items a representative may contain, in
         addition to the ``|tr_max|`` bound imposed by GenerateTreeTuple.
+    backend:
+        Name of the similarity backend driving the assignment hot path
+        (``"python"`` for the reference loops, ``"numpy"`` for the
+        vectorized batch engine; see :mod:`repro.similarity.backend`).
     """
 
     k: int
@@ -38,6 +42,7 @@ class ClusteringConfig:
     max_iterations: int = 20
     seed: int = 0
     max_representative_items: Optional[int] = None
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -59,30 +64,16 @@ class ClusteringConfig:
 
     def with_k(self, k: int) -> "ClusteringConfig":
         """Return a copy of the configuration with a different ``k``."""
-        return ClusteringConfig(
-            k=k,
-            similarity=self.similarity,
-            max_iterations=self.max_iterations,
-            seed=self.seed,
-            max_representative_items=self.max_representative_items,
-        )
+        return replace(self, k=k)
 
     def with_similarity(self, similarity: SimilarityConfig) -> "ClusteringConfig":
         """Return a copy with a different similarity configuration."""
-        return ClusteringConfig(
-            k=self.k,
-            similarity=similarity,
-            max_iterations=self.max_iterations,
-            seed=self.seed,
-            max_representative_items=self.max_representative_items,
-        )
+        return replace(self, similarity=similarity)
 
     def with_seed(self, seed: int) -> "ClusteringConfig":
         """Return a copy with a different random seed."""
-        return ClusteringConfig(
-            k=self.k,
-            similarity=self.similarity,
-            max_iterations=self.max_iterations,
-            seed=seed,
-            max_representative_items=self.max_representative_items,
-        )
+        return replace(self, seed=seed)
+
+    def with_backend(self, backend: str) -> "ClusteringConfig":
+        """Return a copy with a different similarity backend."""
+        return replace(self, backend=backend)

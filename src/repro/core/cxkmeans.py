@@ -40,7 +40,7 @@ from repro.core.results import ClusteringResult, build_result
 from repro.core.seeding import partition_cluster_ids, select_seed_transactions
 from repro.network.costmodel import CostModel
 from repro.network.message import Message, MessageKind, representative_payload
-from repro.network.mpengine import SerialExecutor
+from repro.network.mpengine import SerialExecutor, process_engine
 from repro.network.peer import make_peers
 from repro.network.simnet import SimulatedNetwork
 from repro.similarity.cache import TagPathSimilarityCache
@@ -103,14 +103,18 @@ def run_local_phase(
     with the pseudocode and as a guard for custom similarity engines.
 
     This function is a module-level callable (not a closure) so it can be
-    dispatched to worker processes by the multiprocessing engine.
+    dispatched to worker processes by the multiprocessing engine.  When no
+    *engine* is passed (multiprocessing workers) the per-process engine for
+    the phase's configuration is used, so a worker keeps its tag-path cache
+    and compiled backend corpus across collaborative rounds.
     """
     start = time.perf_counter()
     config = phase_input.config
-    local_engine = engine or SimilarityEngine(config.similarity, cache=TagPathSimilarityCache())
+    local_engine = engine or process_engine(config.similarity, config.backend)
     representatives = phase_input.global_representatives
     k = len(representatives)
     transactions = phase_input.transactions
+    local_engine.backend.compile_corpus(transactions)
 
     assignment: Dict[str, int] = {}
     previous_assignment: Optional[Dict[str, int]] = None
@@ -120,10 +124,8 @@ def run_local_phase(
         previous_assignment = dict(assignment)
         assignment = {}
         clusters = [[] for _ in range(k)]
-        for transaction in transactions:
-            best_index, best_similarity = local_engine.nearest_representative(
-                transaction, representatives
-            )
+        results = local_engine.assign_all(transactions, representatives)
+        for transaction, (best_index, best_similarity) in zip(transactions, results):
             if best_similarity <= 0.0:
                 assignment[transaction.transaction_id] = -1
             else:
@@ -185,7 +187,14 @@ class CXKMeans:
         self.cost_model = cost_model or CostModel()
         self.executor = executor or SerialExecutor()
         self._shared_cache = TagPathSimilarityCache()
-        self._engine = SimilarityEngine(config.similarity, cache=self._shared_cache)
+        self._engine = SimilarityEngine(
+            config.similarity, cache=self._shared_cache, backend=config.backend
+        )
+
+    @property
+    def engine(self) -> SimilarityEngine:
+        """The engine shared by every simulated node on the serial path."""
+        return self._engine
 
     # ------------------------------------------------------------------ #
     # Seeding
@@ -269,8 +278,13 @@ class CXKMeans:
         m = len(partitions)
 
         # --- N0 startup: partition cluster ids, create peers and network --- #
+        use_shared_engine = isinstance(self.executor, SerialExecutor)
         responsibilities = partition_cluster_ids(k, m)
-        peers = make_peers(partitions, responsibilities)
+        peers = make_peers(
+            partitions,
+            responsibilities,
+            engine=self._engine if use_shared_engine else None,
+        )
         network = SimulatedNetwork(peers, cost_model=self.cost_model)
         with network.round():
             for peer in peers:
@@ -304,7 +318,6 @@ class CXKMeans:
 
         iterations = 0
         converged = False
-        use_shared_engine = isinstance(self.executor, SerialExecutor)
 
         while iterations < self.config.max_iterations:
             iterations += 1
@@ -334,7 +347,12 @@ class CXKMeans:
                 for peer in peers
             ]
             if use_shared_engine:
-                outputs = [run_local_phase(item, engine=self._engine) for item in inputs]
+                # every simulated node works against the same engine and
+                # therefore against one shared compiled corpus
+                outputs = [
+                    run_local_phase(item, engine=peers[item.peer_id].engine)
+                    for item in inputs
+                ]
             else:
                 outputs = self.executor.map(run_local_phase, inputs)
             for output in outputs:
@@ -405,7 +423,7 @@ class CXKMeans:
                         global_representatives[cluster_id] = compute_global_representative(
                             weighted,
                             self._engine if use_shared_engine else SimilarityEngine(
-                                self.config.similarity
+                                self.config.similarity, backend=self.config.backend
                             ),
                             representative_id=f"rep:global:{cluster_id}",
                             max_items=self.config.max_representative_items,

@@ -61,7 +61,14 @@ class PKMeans:
         self.executor = executor or SerialExecutor()
         self.objective_tolerance = objective_tolerance
         self._shared_cache = TagPathSimilarityCache()
-        self._engine = SimilarityEngine(config.similarity, cache=self._shared_cache)
+        self._engine = SimilarityEngine(
+            config.similarity, cache=self._shared_cache, backend=config.backend
+        )
+
+    @property
+    def engine(self) -> SimilarityEngine:
+        """The engine shared by every simulated node on the serial path."""
+        return self._engine
 
     # ------------------------------------------------------------------ #
     def _objective(
@@ -103,7 +110,12 @@ class PKMeans:
 
         # PK-means has no notion of per-cluster responsibility; peers are
         # created with empty responsibility lists.
-        peers = make_peers(partitions, [[] for _ in range(m)])
+        use_shared_engine = isinstance(self.executor, SerialExecutor)
+        peers = make_peers(
+            partitions,
+            [[] for _ in range(m)],
+            engine=self._engine if use_shared_engine else None,
+        )
         network = SimulatedNetwork(peers, cost_model=self.cost_model)
 
         # Initial representatives: the same fair protocol as the paper's
@@ -149,7 +161,6 @@ class PKMeans:
         converged = False
         previous_objective: Optional[float] = None
         last_outputs: List[Optional[LocalPhaseOutput]] = [None] * m
-        use_shared_engine = isinstance(self.executor, SerialExecutor)
 
         while iterations < self.config.max_iterations:
             iterations += 1
@@ -166,7 +177,10 @@ class PKMeans:
                 for peer in peers
             ]
             if use_shared_engine:
-                outputs = [run_local_phase(item, engine=self._engine) for item in inputs]
+                outputs = [
+                    run_local_phase(item, engine=peers[item.peer_id].engine)
+                    for item in inputs
+                ]
             else:
                 outputs = self.executor.map(run_local_phase, inputs)
             for output in outputs:
@@ -209,7 +223,7 @@ class PKMeans:
                         computed[cluster_id] = compute_global_representative(
                             weighted,
                             self._engine if use_shared_engine else SimilarityEngine(
-                                self.config.similarity
+                                self.config.similarity, backend=self.config.backend
                             ),
                             representative_id=f"rep:global:{cluster_id}",
                             max_items=self.config.max_representative_items,

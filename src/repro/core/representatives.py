@@ -213,10 +213,9 @@ def generate_tree_tuple(
 
     def score_of(items: Sequence[TreeTupleItem]) -> float:
         candidate = make_transaction(representative_id, items, sort_items=True)
-        return sum(
-            engine.transaction_similarity(transaction, candidate)
-            for transaction in cluster
-        )
+        # one batched member-vs-candidate column instead of a scalar loop
+        column = engine.pairwise_transaction_similarity(cluster, [candidate])
+        return sum(row[0] for row in column)
 
     while remaining:
         top_rank = remaining[0].rank

@@ -45,7 +45,9 @@ class XKMeans:
     ) -> None:
         self.config = config
         self.engine = engine or SimilarityEngine(
-            config.similarity, cache=TagPathSimilarityCache()
+            config.similarity,
+            cache=TagPathSimilarityCache(),
+            backend=config.backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -58,14 +60,15 @@ class XKMeans:
     ) -> Dict[str, int]:
         """Assign each transaction to its most similar representative.
 
+        The whole step runs through the engine's bulk ``assign_all`` entry
+        point (one batched call instead of a per-transaction loop), letting
+        vectorized backends amortise compilation across the corpus.
         Returns a mapping transaction_id -> cluster index, with ``-1`` for
         the trash cluster (zero similarity to every representative).
         """
         assignment: Dict[str, int] = {}
-        for transaction in transactions:
-            best_index, best_similarity = self.engine.nearest_representative(
-                transaction, representatives
-            )
+        results = self.engine.assign_all(transactions, representatives)
+        for transaction, (best_index, best_similarity) in zip(transactions, results):
             if best_similarity <= 0.0:
                 assignment[transaction.transaction_id] = -1
             else:
@@ -102,6 +105,8 @@ class XKMeans:
         start = time.perf_counter()
         rng = random.Random(self.config.seed)
         k = self.config.k
+        # one-off corpus compilation (no-op for the reference backend)
+        self.engine.backend.compile_corpus(transactions)
 
         representatives: List[Transaction] = list(
             select_seed_transactions(transactions, k, rng)

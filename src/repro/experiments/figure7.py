@@ -38,6 +38,8 @@ class Figure7Config:
     #: harness runs at reduced scale (e.g. the IEEE profile produces fewer
     #: documents per scale unit than DBLP or Wikipedia).
     dataset_scale_multipliers: Dict[str, float] = field(default_factory=dict)
+    #: Similarity backend driving the clustering hot path.
+    backend: str = "python"
 
 
 @dataclass
@@ -91,6 +93,7 @@ def run_figure7(config: Optional[Figure7Config] = None) -> Figure7Result:
                 seeds=config.seeds,
                 max_iterations=config.max_iterations,
                 cost_model=config.cost_model,
+                backend=config.backend,
             )
             aggregates = sweep.run()
             runtime = pivot(aggregates, value="simulated_seconds")

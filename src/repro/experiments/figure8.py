@@ -33,6 +33,8 @@ class Figure8Config:
     seeds: Sequence[int] = (0,)
     max_iterations: int = 6
     cost_model: CostModel = field(default_factory=CostModel)
+    #: Similarity backend driving the clustering hot path.
+    backend: str = "python"
 
 
 @dataclass
@@ -108,6 +110,7 @@ def run_figure8(config: Optional[Figure8Config] = None) -> Figure8Result:
             seeds=config.seeds,
             max_iterations=config.max_iterations,
             cost_model=config.cost_model,
+            backend=config.backend,
         )
         aggregates = sweep.run()
         for dataset, series in pivot(aggregates, value="simulated_seconds").items():

@@ -50,6 +50,8 @@ class AccuracyTableConfig:
     max_iterations: int = 6
     cost_model: CostModel = field(default_factory=CostModel)
     datasets: Optional[Sequence[str]] = None
+    #: Similarity backend driving the clustering hot path.
+    backend: str = "python"
 
 
 @dataclass
@@ -108,6 +110,7 @@ def run_accuracy_table(config: Optional[AccuracyTableConfig] = None) -> Accuracy
             seeds=config.seeds,
             max_iterations=config.max_iterations,
             cost_model=config.cost_model,
+            backend=config.backend,
         )
         aggregates = sweep.run()
         tables[goal] = pivot(aggregates, value="f_measure")

@@ -12,13 +12,48 @@ module-level function to a list of argument tuples and return the results in
 order.  The multiprocessing engine transparently falls back to serial
 execution when the payload cannot be pickled or when only one worker is
 available, so callers never need to special-case platform quirks.
+
+The module additionally hosts the *per-process similarity engine* cache used
+by the peer local phases: similarity engines (tag-path cache plus a possibly
+compiled backend corpus) are expensive to rebuild and impossible to pickle
+cheaply, so worker processes materialise one engine per (similarity
+configuration, backend) pair and keep it alive across rounds.  On the serial
+path the algorithms pass their own shared engine instead, so every simulated
+node works against one compiled corpus.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import pickle
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.similarity.cache import TagPathSimilarityCache
+from repro.similarity.item import SimilarityConfig
+from repro.similarity.transaction import SimilarityEngine
+
+#: Per-process engines keyed by (similarity config, backend name).  Worker
+#: processes of the multiprocessing executor populate this lazily on their
+#: first local phase and then reuse the engine -- including its tag-path
+#: cache and compiled corpus blocks -- for every subsequent round.
+_PROCESS_ENGINES: Dict[Tuple[SimilarityConfig, str], SimilarityEngine] = {}
+
+
+def process_engine(similarity: SimilarityConfig, backend: str = "python") -> SimilarityEngine:
+    """Return this process' shared engine for the given configuration."""
+    key = (similarity, backend)
+    engine = _PROCESS_ENGINES.get(key)
+    if engine is None:
+        engine = SimilarityEngine(
+            similarity, cache=TagPathSimilarityCache(), backend=backend
+        )
+        _PROCESS_ENGINES[key] = engine
+    return engine
+
+
+def clear_process_engines() -> None:
+    """Drop every cached per-process engine (used by tests)."""
+    _PROCESS_ENGINES.clear()
 
 
 class SerialExecutor:

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.network.message import Message, MessageKind
+from repro.similarity.transaction import SimilarityEngine
 from repro.transactions.transaction import Transaction
 
 
@@ -28,6 +29,12 @@ class Peer:
     #: Cluster identifiers whose *global* representative this peer computes.
     responsibilities: List[int] = field(default_factory=list)
     inbox: List[Message] = field(default_factory=list)
+    #: Similarity engine used for the peer's local phases.  When several
+    #: simulated nodes run in one process the algorithms attach the *same*
+    #: engine to every peer, so all nodes share one tag-path cache and one
+    #: compiled backend corpus; ``None`` means "let the execution engine
+    #: pick a per-process engine".
+    engine: Optional[SimilarityEngine] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     def local_size(self) -> int:
@@ -70,8 +77,14 @@ class Peer:
 def make_peers(
     partitions: Sequence[Sequence[Transaction]],
     responsibilities: Sequence[Sequence[int]],
+    engine: Optional[SimilarityEngine] = None,
 ) -> List[Peer]:
-    """Create one peer per data partition with the given responsibilities."""
+    """Create one peer per data partition with the given responsibilities.
+
+    When *engine* is provided every peer shares it (single-process
+    simulation: one tag-path cache and one compiled similarity corpus for
+    the whole network).
+    """
     if len(partitions) != len(responsibilities):
         raise ValueError(
             "partitions and responsibilities must have the same length "
@@ -82,6 +95,7 @@ def make_peers(
             peer_id=index,
             transactions=list(partition),
             responsibilities=list(assigned),
+            engine=engine,
         )
         for index, (partition, assigned) in enumerate(zip(partitions, responsibilities))
     ]

@@ -1,5 +1,16 @@
 """Similarity measures for XML tree tuple items and transactions (Sec. 4.1)."""
 
+from repro.similarity.backend import (
+    DEFAULT_BACKEND,
+    BackendUnavailableError,
+    NumpyBackend,
+    PythonBackend,
+    SimilarityBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+    registered_backends,
+)
 from repro.similarity.cache import TagPathSimilarityCache
 from repro.similarity.content import content_similarity, cosine_similarity
 from repro.similarity.item import SimilarityConfig, gamma_matched, item_similarity
@@ -17,6 +28,15 @@ from repro.similarity.transaction import (
 )
 
 __all__ = [
+    "DEFAULT_BACKEND",
+    "BackendUnavailableError",
+    "SimilarityBackend",
+    "PythonBackend",
+    "NumpyBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "registered_backends",
     "dirichlet",
     "positional_tag_score",
     "tag_path_similarity",

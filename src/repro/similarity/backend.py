@@ -1,0 +1,674 @@
+"""Pluggable similarity backends and the vectorized batch engine.
+
+Every clustering algorithm of the reproduction (XK-means, PK-means,
+CXK-means) spends nearly all of its runtime evaluating the transaction
+similarity ``sim^gamma_J`` between data transactions and cluster
+representatives.  The reference implementation walks every item pair in
+Python, which is faithful to the paper but far from "as fast as the
+hardware allows".  This module turns the similarity layer into a pluggable
+architecture:
+
+* :class:`SimilarityBackend` -- the protocol every backend implements:
+  scalar item / transaction similarity, a batched
+  ``pairwise_transaction_similarity`` and the bulk ``assign_all`` entry
+  point used by the assignment step of the clustering loops;
+* ``"python"`` -- :class:`PythonBackend`, a thin wrapper around the
+  reference loops of :class:`~repro.similarity.transaction.SimilarityEngine`
+  (byte-for-byte the historical behaviour);
+* ``"numpy"`` -- :class:`NumpyBackend`, which compiles transactions once
+  into feature blocks (tag-path id arrays indexing a dense precomputed
+  structural-similarity matrix, content-class id arrays indexing a memoised
+  content-similarity block, item-uid arrays for the union counts) and
+  evaluates the two directed gamma-match passes as vectorized row/column
+  reductions.
+
+Bit-exact parity
+----------------
+The numpy backend is *bit-exact* with the python reference, not merely
+approximately equal:
+
+* structural similarities are read from the same shared
+  :class:`~repro.similarity.cache.TagPathSimilarityCache`;
+* content similarities are computed by the same scalar
+  :func:`~repro.similarity.content.content_similarity` function, memoised
+  per ordered pair of *content classes* (the ordered term/weight tuple of a
+  TCU vector, or the raw answer for empty TCUs -- exactly the information
+  that function consumes);
+* the blend ``f * sim_S + (1 - f) * sim_C`` is evaluated elementwise with
+  the same IEEE-754 operation order as the scalar code, including the
+  ``f == 0`` / ``f == 1`` short-circuits.
+
+Because every item similarity is therefore the *same float* in both
+backends, all gamma-threshold comparisons, argmax tie sets, match counts
+and the final integer-ratio transaction similarities coincide, and a
+clustering run with a fixed seed produces identical assignments under
+either backend.  The parity suite in ``tests/test_similarity_backend.py``
+asserts this property.
+
+Backends are registered by name; third parties can plug in their own
+(e.g. sharded or GPU implementations) through :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+try:  # pragma: no cover - Protocol exists on every supported Python
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[no-redef]
+        return cls
+
+from repro.similarity.content import content_similarity
+from repro.transactions.items import TreeTupleItem
+from repro.transactions.transaction import Transaction
+from repro.xmlmodel.paths import XMLPath
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.similarity.transaction import SimilarityEngine
+
+#: Name of the backend used when none is requested explicitly.
+DEFAULT_BACKEND = "python"
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a registered backend cannot run in this environment."""
+
+
+def _load_numpy():
+    """Import numpy, raising a :class:`BackendUnavailableError` if absent."""
+    try:
+        import numpy
+    except ImportError as error:  # pragma: no cover - numpy ships in the image
+        raise BackendUnavailableError(
+            "the 'numpy' similarity backend requires numpy; install numpy or "
+            "select backend='python'"
+        ) from error
+    return numpy
+
+
+def _numpy_importable() -> bool:
+    try:
+        _load_numpy()
+    except BackendUnavailableError:  # pragma: no cover - see above
+        return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# The backend protocol
+# --------------------------------------------------------------------------- #
+@runtime_checkable
+class SimilarityBackend(Protocol):
+    """Interface of a similarity backend.
+
+    A backend answers the same questions as the reference
+    :class:`~repro.similarity.transaction.SimilarityEngine`, plus two batch
+    entry points that let implementations amortise per-call work across a
+    whole corpus:
+
+    * :meth:`pairwise_transaction_similarity` evaluates a block of
+      ``sim^gamma_J`` values at once;
+    * :meth:`assign_all` performs the complete assignment step (every
+      transaction against every representative) of one clustering
+      iteration.
+    """
+
+    name: str
+
+    def item_similarity(self, item_a: TreeTupleItem, item_b: TreeTupleItem) -> float:
+        """Combined item similarity (Eq. 1)."""
+        ...
+
+    def gamma_shared_items(
+        self, tr1: Transaction, tr2: Transaction
+    ) -> Set[TreeTupleItem]:
+        """The gamma-shared item set ``match_gamma(tr1, tr2)`` (Eq. 2)."""
+        ...
+
+    def transaction_similarity(self, tr1: Transaction, tr2: Transaction) -> float:
+        """XML transaction similarity ``sim^gamma_J`` (Eq. 4)."""
+        ...
+
+    def pairwise_transaction_similarity(
+        self, rows: Sequence[Transaction], columns: Sequence[Transaction]
+    ) -> List[List[float]]:
+        """Matrix of ``sim^gamma_J(rows[i], columns[j])`` values."""
+        ...
+
+    def nearest_representative(
+        self, transaction: Transaction, representatives: Sequence[Transaction]
+    ) -> Tuple[int, float]:
+        """(index, similarity) of the most similar representative."""
+        ...
+
+    def assign_all(
+        self,
+        transactions: Sequence[Transaction],
+        representatives: Sequence[Transaction],
+    ) -> List[Tuple[int, float]]:
+        """Bulk assignment: one (index, similarity) pair per transaction."""
+        ...
+
+    def compile_corpus(self, transactions: Sequence[Transaction]) -> int:
+        """Pre-compile *transactions* for reuse across iterations.
+
+        Returns the number of transactions compiled (0 for backends that
+        have nothing to precompute).
+        """
+        ...
+
+
+# --------------------------------------------------------------------------- #
+# Reference backend
+# --------------------------------------------------------------------------- #
+class PythonBackend:
+    """The reference backend: pure-Python loops, no compilation.
+
+    Delegates every scalar computation to the owning
+    :class:`~repro.similarity.transaction.SimilarityEngine`, whose methods
+    carry the historical reference implementation; the batch entry points
+    are plain loops over the scalar ones, so behaviour is byte-for-byte
+    identical to the pre-backend code.
+    """
+
+    name = "python"
+
+    def __init__(self, engine: "SimilarityEngine") -> None:
+        self.engine = engine
+
+    def item_similarity(self, item_a: TreeTupleItem, item_b: TreeTupleItem) -> float:
+        return self.engine.item_similarity(item_a, item_b)
+
+    def gamma_shared_items(
+        self, tr1: Transaction, tr2: Transaction
+    ) -> Set[TreeTupleItem]:
+        return self.engine.gamma_shared_items(tr1, tr2)
+
+    def transaction_similarity(self, tr1: Transaction, tr2: Transaction) -> float:
+        return self.engine.transaction_similarity(tr1, tr2)
+
+    def pairwise_transaction_similarity(
+        self, rows: Sequence[Transaction], columns: Sequence[Transaction]
+    ) -> List[List[float]]:
+        similarity = self.engine.transaction_similarity
+        return [[similarity(row, column) for column in columns] for row in rows]
+
+    def nearest_representative(
+        self, transaction: Transaction, representatives: Sequence[Transaction]
+    ) -> Tuple[int, float]:
+        return self.engine.nearest_representative(transaction, representatives)
+
+    def assign_all(
+        self,
+        transactions: Sequence[Transaction],
+        representatives: Sequence[Transaction],
+    ) -> List[Tuple[int, float]]:
+        # hoist the representatives' item sets out of the transaction loop
+        representative_item_sets = [
+            representative.item_set() for representative in representatives
+        ]
+        nearest = self.engine.nearest_representative
+        return [
+            nearest(transaction, representatives, representative_item_sets)
+            for transaction in transactions
+        ]
+
+    def compile_corpus(self, transactions: Sequence[Transaction]) -> int:
+        return 0
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized backend
+# --------------------------------------------------------------------------- #
+class _CompiledTransaction:
+    """Feature-block view of one transaction (arrays over its items)."""
+
+    __slots__ = ("length", "tag_path_ids", "content_ids", "uids", "uid_set")
+
+    def __init__(self, length, tag_path_ids, content_ids, uids, uid_set) -> None:
+        self.length = length
+        self.tag_path_ids = tag_path_ids
+        self.content_ids = content_ids
+        self.uids = uids
+        self.uid_set = uid_set
+
+
+class NumpyBackend:
+    """Vectorized batch backend built on numpy array kernels.
+
+    Transactions are compiled once into three parallel integer arrays:
+
+    * ``tag_path_ids`` indexing a dense structural-similarity matrix whose
+      entries come from the shared tag-path cache (the paper's Sec. 4.3.2
+      precomputation, materialised as an array);
+    * ``content_ids`` indexing a memoised content-similarity block keyed by
+      *content class* (the ordered term/weight tuple of the TCU vector, or
+      the raw answer for empty TCUs), computed with the exact scalar
+      :func:`~repro.similarity.content.content_similarity`;
+    * ``uids`` (canonical item identifiers under transaction-item equality)
+      used for the ``|match_gamma|`` and ``|tr1 ∪ tr2|`` set counts.
+
+    The two directed gamma-match passes of Eq. 2 then become masked
+    row/column max-reductions over the gathered item-similarity block, and
+    one ``assign_all`` call evaluates a whole corpus against a whole
+    representative set with a handful of numpy operations per
+    representative.
+    """
+
+    name = "numpy"
+
+    #: Entries allowed in the transient compile cache before it is pruned
+    #: (representative candidates churn quickly during refinement).
+    TRANSIENT_CAP = 8192
+
+    def __init__(self, engine: "SimilarityEngine") -> None:
+        self._np = _load_numpy()
+        self.engine = engine
+        self.config = engine.config
+        self.cache = engine.cache
+        # --- registries shared by every compiled transaction -------------- #
+        self._tag_paths: List[XMLPath] = []
+        self._tag_path_index: Dict[XMLPath, int] = {}
+        self._tp_matrix = self._np.zeros((0, 0), dtype=self._np.float64)
+        self._content_index: Dict[tuple, int] = {}
+        self._content_exemplars: List[TreeTupleItem] = []
+        self._content_memo: Dict[Tuple[int, int], float] = {}
+        self._uid_index: Dict[TreeTupleItem, int] = {}
+        # --- compiled transactions ---------------------------------------- #
+        # The pinned cache is keyed by transaction *value* (transactions are
+        # frozen dataclasses hashing by content): multiprocessing workers
+        # that unpickle a fresh copy of their partition every round, and
+        # serial runs where several peers share one engine, all land on the
+        # same entries, so the cache size stays bounded by the number of
+        # distinct corpus transactions.  The transient cache (representative
+        # candidates churning through refinement) is identity-keyed and
+        # pruned once it exceeds TRANSIENT_CAP.
+        self._pinned: Dict[Transaction, _CompiledTransaction] = {}
+        self._transient: Dict[int, Tuple[Transaction, _CompiledTransaction]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registries
+    # ------------------------------------------------------------------ #
+    def _tag_path_id(self, tag_path: XMLPath) -> int:
+        index = self._tag_path_index.get(tag_path)
+        if index is None:
+            index = len(self._tag_paths)
+            self._tag_path_index[tag_path] = index
+            self._tag_paths.append(tag_path)
+        return index
+
+    def _content_key(self, item: TreeTupleItem) -> tuple:
+        """Return the content class of an item.
+
+        :func:`content_similarity` depends only on the two TCU vectors'
+        ordered (term, weight) sequences -- the dot product iterates dict
+        insertion order, so the *ordered* tuple pins the float result
+        exactly -- falling back to raw-answer equality when both vectors
+        are empty.  The key captures precisely that information.
+        """
+        vector = item.vector
+        if vector:
+            return ("v", tuple(vector.items()))
+        return ("e", item.answer)
+
+    def _content_id(self, item: TreeTupleItem) -> int:
+        key = self._content_key(item)
+        index = self._content_index.get(key)
+        if index is None:
+            index = len(self._content_exemplars)
+            self._content_index[key] = index
+            self._content_exemplars.append(item)
+        return index
+
+    def _uid(self, item: TreeTupleItem) -> int:
+        uid = self._uid_index.get(item)
+        if uid is None:
+            uid = len(self._uid_index)
+            self._uid_index[item] = uid
+        return uid
+
+    def _ensure_tp_matrix(self):
+        """Grow the dense structural-similarity matrix to cover every
+        registered tag path, filling new entries from the shared cache so
+        the floats match the python backend bit-for-bit."""
+        np = self._np
+        old = self._tp_matrix.shape[0]
+        size = len(self._tag_paths)
+        if size == old:
+            return self._tp_matrix
+        matrix = np.empty((size, size), dtype=np.float64)
+        matrix[:old, :old] = self._tp_matrix
+        similarity = self.cache.similarity
+        paths = self._tag_paths
+        for i in range(size):
+            path_i = paths[i]
+            start = old if i < old else 0
+            for j in range(start, size):
+                value = similarity(path_i, paths[j])
+                matrix[i, j] = value
+                matrix[j, i] = value
+        self._tp_matrix = matrix
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def _compile(self, transaction: Transaction) -> _CompiledTransaction:
+        compiled = self._pinned.get(transaction)
+        if compiled is not None:
+            return compiled
+        key = id(transaction)
+        entry = self._transient.get(key)
+        if entry is not None and entry[0] is transaction:
+            return entry[1]
+        compiled = self._compile_items(transaction)
+        if len(self._transient) >= self.TRANSIENT_CAP:
+            self._transient.clear()
+        self._transient[key] = (transaction, compiled)
+        return compiled
+
+    def _compile_items(self, transaction: Transaction) -> _CompiledTransaction:
+        np = self._np
+        items = transaction.items
+        n = len(items)
+        tag_path_ids = np.empty(n, dtype=np.intp)
+        content_ids = np.empty(n, dtype=np.intp)
+        uids = np.empty(n, dtype=np.intp)
+        for position, item in enumerate(items):
+            tag_path_ids[position] = self._tag_path_id(item.tag_path)
+            content_ids[position] = self._content_id(item)
+            uids[position] = self._uid(item)
+        return _CompiledTransaction(
+            length=n,
+            tag_path_ids=tag_path_ids,
+            content_ids=content_ids,
+            uids=uids,
+            uid_set=frozenset(uids.tolist()),
+        )
+
+    def compile_corpus(self, transactions: Sequence[Transaction]) -> int:
+        """Compile *transactions* into the pinned (never-evicted) cache.
+
+        Call this once per corpus -- e.g. at experiment start-up, or when
+        several simulated nodes share one engine -- so every clustering
+        iteration reuses the same feature blocks.
+
+        Pins are keyed by transaction value, so re-presenting the same
+        corpus -- even as freshly unpickled copies in a multiprocessing
+        worker -- costs one dictionary probe per transaction and adds no
+        new entries.  Returns the number of newly compiled transactions.
+        """
+        count = 0
+        for transaction in transactions:
+            if transaction in self._pinned:
+                continue
+            self._pinned[transaction] = self._compile_items(transaction)
+            count += 1
+        self._ensure_tp_matrix()
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Content block
+    # ------------------------------------------------------------------ #
+    def _content_block(self, row_classes, column_classes):
+        """Dense content-similarity block for the given content-class ids.
+
+        Entries are memoised per *ordered* (row class, column class) pair:
+        the scalar kernel is not perfectly symmetric at the ULP level (the
+        sparse dot iterates the smaller operand), and the reference code
+        always evaluates ``sim(transaction item, representative item)`` in
+        that order.
+        """
+        np = self._np
+        memo = self._content_memo
+        exemplars = self._content_exemplars
+        block = np.empty((len(row_classes), len(column_classes)), dtype=np.float64)
+        for i, row_class in enumerate(row_classes):
+            row_item = exemplars[row_class]
+            for j, column_class in enumerate(column_classes):
+                pair = (row_class, column_class)
+                value = memo.get(pair)
+                if value is None:
+                    value = content_similarity(row_item, exemplars[column_class])
+                    memo[pair] = value
+                block[i, j] = value
+        return block
+
+    # ------------------------------------------------------------------ #
+    # Batch kernel
+    # ------------------------------------------------------------------ #
+    def _pair_similarities(self, rows: Sequence[Transaction], columns: Sequence[Transaction]):
+        """Return the (len(rows), len(columns)) array of sim^gamma_J values."""
+        np = self._np
+        f = self.config.f
+        gamma = self.config.gamma
+        sims = np.zeros((len(rows), len(columns)), dtype=np.float64)
+
+        compiled_rows = [self._compile(row) for row in rows]
+        compiled_columns = [self._compile(column) for column in columns]
+        row_positions = [i for i, c in enumerate(compiled_rows) if c.length]
+        column_positions = [j for j, c in enumerate(compiled_columns) if c.length]
+        if not row_positions or not column_positions:
+            return sims
+
+        tp_matrix = self._ensure_tp_matrix()
+
+        # --- concatenate the non-empty row transactions ------------------- #
+        active = [compiled_rows[i] for i in row_positions]
+        lengths = np.array([c.length for c in active], dtype=np.intp)
+        offsets = np.zeros(len(active), dtype=np.intp)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        all_tp = np.concatenate([c.tag_path_ids for c in active])
+        all_uids = [c.uids for c in active]
+
+        # --- content lookup block (skipped entirely when f == 1) ----------- #
+        if f != 1.0:
+            all_ck = np.concatenate([c.content_ids for c in active])
+            row_classes = np.unique(all_ck)
+            column_classes = np.unique(
+                np.concatenate([compiled_columns[j].content_ids for j in column_positions])
+            )
+            content = self._content_block(row_classes.tolist(), column_classes.tolist())
+            row_remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
+            row_remap[row_classes] = np.arange(len(row_classes), dtype=np.intp)
+            column_remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
+            column_remap[column_classes] = np.arange(len(column_classes), dtype=np.intp)
+            all_ck_local = row_remap[all_ck]
+
+        row_arange = range(len(active))
+        for j in column_positions:
+            column = compiled_columns[j]
+            # item-similarity block: same arithmetic as the scalar Eq. 1,
+            # including the f == 0 / f == 1 short-circuits.
+            if f == 1.0:
+                block = tp_matrix[all_tp[:, None], column.tag_path_ids[None, :]]
+            elif f == 0.0:
+                block = content[all_ck_local[:, None], column_remap[column.content_ids][None, :]]
+            else:
+                structural = tp_matrix[all_tp[:, None], column.tag_path_ids[None, :]]
+                contentpart = content[
+                    all_ck_local[:, None], column_remap[column.content_ids][None, :]
+                ]
+                block = f * structural + (1.0 - f) * contentpart
+
+            # direction tr -> rep: per representative item (column), the
+            # best row item(s) of each transaction segment.
+            column_max = np.maximum.reduceat(block, offsets, axis=0)
+            qualifying = column_max >= gamma
+            matched_rows = (
+                (block == np.repeat(column_max, lengths, axis=0))
+                & np.repeat(qualifying, lengths, axis=0)
+            ).any(axis=1)
+            # direction rep -> tr: per row item, its best representative
+            # item(s); a segment's column is matched when any of the
+            # segment's qualifying rows attains its maximum there.
+            row_max = block.max(axis=1)
+            row_qualifies = row_max >= gamma
+            hits = (block == row_max[:, None]) & row_qualifies[:, None]
+            matched_columns = np.logical_or.reduceat(hits, offsets, axis=0)
+
+            column_uids = column.uids
+            column_uid_set = column.uid_set
+            for position in row_arange:
+                start = offsets[position]
+                stop = start + lengths[position]
+                matched = set(all_uids[position][matched_rows[start:stop]].tolist())
+                matched.update(column_uids[matched_columns[position]].tolist())
+                union = len(active[position].uid_set | column_uid_set)
+                if union:
+                    sims[row_positions[position], j] = len(matched) / union
+        return sims
+
+    # ------------------------------------------------------------------ #
+    # Scalar API (parity with the reference backend)
+    # ------------------------------------------------------------------ #
+    def item_similarity(self, item_a: TreeTupleItem, item_b: TreeTupleItem) -> float:
+        structural = self.cache.item_similarity(item_a, item_b)
+        f = self.config.f
+        if f == 1.0:
+            return structural
+        pair = (self._content_id(item_a), self._content_id(item_b))
+        value = self._content_memo.get(pair)
+        if value is None:
+            value = content_similarity(item_a, item_b)
+            self._content_memo[pair] = value
+        if f == 0.0:
+            return value
+        return f * structural + (1.0 - f) * value
+
+    def gamma_shared_items(
+        self, tr1: Transaction, tr2: Transaction
+    ) -> Set[TreeTupleItem]:
+        if tr1.is_empty() or tr2.is_empty():
+            return set()
+        np = self._np
+        f = self.config.f
+        gamma = self.config.gamma
+        first = self._compile(tr1)
+        second = self._compile(tr2)
+        tp_matrix = self._ensure_tp_matrix()
+        if f == 1.0:
+            block = tp_matrix[first.tag_path_ids[:, None], second.tag_path_ids[None, :]]
+        else:
+            row_classes = np.unique(first.content_ids)
+            column_classes = np.unique(second.content_ids)
+            content = self._content_block(row_classes.tolist(), column_classes.tolist())
+            row_remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
+            row_remap[row_classes] = np.arange(len(row_classes), dtype=np.intp)
+            column_remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
+            column_remap[column_classes] = np.arange(len(column_classes), dtype=np.intp)
+            contentpart = content[
+                row_remap[first.content_ids][:, None],
+                column_remap[second.content_ids][None, :],
+            ]
+            if f == 0.0:
+                block = contentpart
+            else:
+                structural = tp_matrix[
+                    first.tag_path_ids[:, None], second.tag_path_ids[None, :]
+                ]
+                block = f * structural + (1.0 - f) * contentpart
+
+        column_max = block.max(axis=0)
+        matched_rows = ((block == column_max[None, :]) & (column_max >= gamma)[None, :]).any(axis=1)
+        row_max = block.max(axis=1)
+        matched_columns = ((block == row_max[:, None]) & (row_max >= gamma)[:, None]).any(axis=0)
+        matched: Set[TreeTupleItem] = {
+            item for item, flag in zip(tr1.items, matched_rows.tolist()) if flag
+        }
+        matched.update(
+            item for item, flag in zip(tr2.items, matched_columns.tolist()) if flag
+        )
+        return matched
+
+    def transaction_similarity(self, tr1: Transaction, tr2: Transaction) -> float:
+        return float(self._pair_similarities([tr1], [tr2])[0, 0])
+
+    def pairwise_transaction_similarity(
+        self, rows: Sequence[Transaction], columns: Sequence[Transaction]
+    ) -> List[List[float]]:
+        return self._pair_similarities(rows, columns).tolist()
+
+    def nearest_representative(
+        self, transaction: Transaction, representatives: Sequence[Transaction]
+    ) -> Tuple[int, float]:
+        if not representatives:
+            return -1, 0.0
+        row = self._pair_similarities([transaction], representatives)[0]
+        index = int(self._np.argmax(row))
+        return index, float(row[index])
+
+    def assign_all(
+        self,
+        transactions: Sequence[Transaction],
+        representatives: Sequence[Transaction],
+    ) -> List[Tuple[int, float]]:
+        if not representatives:
+            return [(-1, 0.0) for _ in transactions]
+        np = self._np
+        sims = self._pair_similarities(transactions, representatives)
+        # np.argmax keeps the first maximum, matching the reference loop's
+        # strictly-greater update (ties break to the lowest index).
+        best = np.argmax(sims, axis=1)
+        values = sims[np.arange(sims.shape[0]), best]
+        return [(int(index), float(value)) for index, value in zip(best, values)]
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, Callable[["SimilarityEngine"], SimilarityBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[["SimilarityEngine"], SimilarityBackend]
+) -> None:
+    """Register a backend *factory* under *name* (case-insensitive)."""
+    _REGISTRY[name.lower()] = factory
+
+
+def create_backend(name: Optional[str], engine: "SimilarityEngine") -> SimilarityBackend:
+    """Instantiate the backend registered under *name* for *engine*.
+
+    ``None`` selects :data:`DEFAULT_BACKEND`.  Unknown names raise a
+    ``ValueError`` listing the registered alternatives.
+    """
+    key = (name or DEFAULT_BACKEND).lower()
+    factory = _REGISTRY.get(key)
+    if factory is None:
+        raise ValueError(
+            f"unknown similarity backend: {name!r} "
+            f"(registered: {', '.join(sorted(_REGISTRY))})"
+        )
+    return factory(engine)
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Return every registered backend name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Return the registered backends usable in this environment."""
+    names = []
+    for name in registered_backends():
+        if name == "numpy" and not _numpy_importable():
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+register_backend("python", PythonBackend)
+register_backend("numpy", NumpyBackend)

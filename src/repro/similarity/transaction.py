@@ -16,7 +16,13 @@ transaction similarity is then the Jaccard-style ratio::
 
 The :class:`SimilarityEngine` bundles the configuration, the tag-path cache
 and the item/transaction similarity functions; it is the single entry point
-used by clustering and representative computation.
+used by clustering and representative computation.  The scalar methods on
+the engine *are* the reference ("python") implementation; batch entry
+points (:meth:`SimilarityEngine.assign_all`,
+:meth:`SimilarityEngine.pairwise_transaction_similarity`) are served by a
+pluggable :class:`~repro.similarity.backend.SimilarityBackend`, selected by
+name, so the clustering hot path can run on the vectorized numpy engine
+while keeping this module as the executable specification.
 """
 
 from __future__ import annotations
@@ -41,15 +47,32 @@ class SimilarityEngine:
     cache:
         Optional shared :class:`TagPathSimilarityCache`; a private cache is
         created when omitted.
+    backend:
+        Name of the :class:`~repro.similarity.backend.SimilarityBackend`
+        serving the batch entry points (``"python"`` by default;
+        ``"numpy"`` selects the vectorized batch engine).  The backend is
+        created lazily on first use.
     """
 
     def __init__(
         self,
         config: SimilarityConfig,
         cache: Optional[TagPathSimilarityCache] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.config = config
         self.cache = cache if cache is not None else TagPathSimilarityCache()
+        self.backend_name = backend or "python"
+        self._backend = None
+
+    @property
+    def backend(self):
+        """The lazily created similarity backend serving the batch API."""
+        if self._backend is None:
+            from repro.similarity.backend import create_backend
+
+            self._backend = create_backend(self.backend_name, self)
+        return self._backend
 
     # ------------------------------------------------------------------ #
     # Item level
@@ -142,30 +165,62 @@ class SimilarityEngine:
                 matched.update(best_items)
         return matched
 
-    def transaction_similarity(self, tr1: Transaction, tr2: Transaction) -> float:
-        """XML transaction similarity ``sim^gamma_J`` (Eq. 4)."""
-        denominator = union_size(tr1, tr2)
+    def _similarity_given_union(
+        self, tr1: Transaction, tr2: Transaction, denominator: int
+    ) -> float:
+        """Eq. 4 with a precomputed ``|tr1 ∪ tr2|`` denominator.
+
+        The single implementation of the similarity ratio, shared by
+        :meth:`transaction_similarity` and :meth:`nearest_representative`
+        so the two cannot drift apart.
+        """
         if denominator == 0:
             return 0.0
-        shared = self.gamma_shared_items(tr1, tr2)
-        return len(shared) / denominator
+        return len(self.gamma_shared_items(tr1, tr2)) / denominator
+
+    def transaction_similarity(self, tr1: Transaction, tr2: Transaction) -> float:
+        """XML transaction similarity ``sim^gamma_J`` (Eq. 4)."""
+        return self._similarity_given_union(tr1, tr2, union_size(tr1, tr2))
 
     # ------------------------------------------------------------------ #
     # Bulk helpers used by clustering
     # ------------------------------------------------------------------ #
     def nearest_representative(
-        self, transaction: Transaction, representatives: Sequence[Transaction]
+        self,
+        transaction: Transaction,
+        representatives: Sequence[Transaction],
+        representative_item_sets: Optional[Sequence[Set[TreeTupleItem]]] = None,
     ) -> Tuple[int, float]:
         """Return (index, similarity) of the most similar representative.
 
-        Ties are broken in favour of the lowest index, matching the
-        deterministic relocation rule used in the reference algorithm.  An
-        empty representative list returns ``(-1, 0.0)``.
+        Ties are broken in favour of the **lowest index** (the loop only
+        updates on strictly greater similarity), matching the deterministic
+        relocation rule used in the reference algorithm; the rule is pinned
+        by a dedicated unit test.  An empty representative list returns
+        ``(-1, 0.0)``.
+
+        The transaction-side set of the ``|tr1 ∪ tr2|`` denominator is
+        built once and reused for every representative instead of being
+        recomputed inside :func:`~repro.transactions.transaction.union_size`
+        per pair; bulk callers looping over many transactions can hand in
+        *representative_item_sets* (one ``item_set()`` per representative)
+        to hoist the representative side out of their loop as well.
         """
         best_index = -1
         best_similarity = -1.0
-        for index, representative in enumerate(representatives):
-            similarity = self.transaction_similarity(transaction, representative)
+        transaction_items = transaction.item_set()
+        if representative_item_sets is None:
+            representative_item_sets = [
+                representative.item_set() for representative in representatives
+            ]
+        for index, (representative, representative_items) in enumerate(
+            zip(representatives, representative_item_sets)
+        ):
+            similarity = self._similarity_given_union(
+                transaction,
+                representative,
+                len(transaction_items | representative_items),
+            )
             if similarity > best_similarity:
                 best_similarity = similarity
                 best_index = index
@@ -173,15 +228,46 @@ class SimilarityEngine:
             return -1, 0.0
         return best_index, best_similarity
 
+    def assign_all(
+        self,
+        transactions: Sequence[Transaction],
+        representatives: Sequence[Transaction],
+    ) -> List[Tuple[int, float]]:
+        """Bulk assignment step: nearest representative for every transaction.
+
+        Delegates to the configured backend, which may amortise compilation
+        and vectorise the whole block of similarity evaluations; the result
+        is one ``(index, similarity)`` pair per transaction with the same
+        lowest-index tie-break as :meth:`nearest_representative`.
+        """
+        return self.backend.assign_all(transactions, representatives)
+
+    def pairwise_transaction_similarity(
+        self, rows: Sequence[Transaction], columns: Sequence[Transaction]
+    ) -> List[List[float]]:
+        """Batched ``sim^gamma_J`` block ``[rows x columns]`` via the backend."""
+        return self.backend.pairwise_transaction_similarity(rows, columns)
+
     def similarity_matrix(
         self, transactions: Sequence[Transaction]
     ) -> List[List[float]]:
         """Return the symmetric pairwise similarity matrix (used in tests and
-        small-scale analyses; quadratic, so not for full corpora)."""
+        small-scale analyses; quadratic, so not for full corpora).
+
+        The diagonal is set directly -- 1.0 for non-empty transactions, 0.0
+        for empty ones -- instead of spending a full O(|tr|^2)
+        ``transaction_similarity`` call per self-pair: every non-empty
+        transaction gamma-matches itself item by item, so its
+        self-similarity is 1 by construction (Eq. 4).  (Pathological corner:
+        with ``gamma == 1.0`` and a TCU whose floating-point self-cosine
+        rounds below 1, the full computation could report a diagonal below
+        1; the closed form deliberately reports the mathematical value
+        instead of that rounding artefact.)
+        """
         n = len(transactions)
         matrix = [[0.0] * n for _ in range(n)]
         for i in range(n):
-            matrix[i][i] = self.transaction_similarity(transactions[i], transactions[i])
+            matrix[i][i] = 0.0 if transactions[i].is_empty() else 1.0
             for j in range(i + 1, n):
                 value = self.transaction_similarity(transactions[i], transactions[j])
                 matrix[i][j] = value
