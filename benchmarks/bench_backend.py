@@ -3,10 +3,10 @@
 Measures the assignment step (``SimilarityEngine.assign_all``: every
 transaction against every cluster representative, the inner loop of
 XK-means / PK-means / CXK-means) and a full XK-means ``fit`` on a synthetic
-generator corpus, once per registered backend, and reports the speedup of
-the vectorized numpy engine over the pure-Python reference.  Both backends
-are verified to produce *identical* assignments before any timing is
-trusted.
+generator corpus, once per benchmarked backend (``--backends``, default
+``python numpy``; ``sharded[:workers]`` works too), and reports the speedup
+of each backend over the pure-Python reference.  All backends are verified
+to produce *identical* assignments before any timing is trusted.
 
 Run standalone (no pytest machinery needed)::
 
@@ -78,6 +78,8 @@ def bench_assign(
     best, result = _time_best(
         lambda: engine.assign_all(transactions, representatives), repeats
     )
+    if hasattr(engine.backend, "close"):
+        engine.backend.close()  # release sharded worker pools
     return best, result
 
 
@@ -94,6 +96,8 @@ def bench_fit(dataset, backend: str, k: int, f: float, gamma: float, seed: int):
     start = time.perf_counter()
     result = algorithm.fit(dataset.transactions)
     elapsed = time.perf_counter() - start
+    if hasattr(algorithm.engine.backend, "close"):
+        algorithm.engine.backend.close()  # release sharded worker pools
     return elapsed, result
 
 
@@ -117,6 +121,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="CI smoke mode: small corpus, no speedup requirement",
     )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=["python", "numpy"],
+        help="backend specs to benchmark (first one is the reference)",
+    )
     args = parser.parse_args(argv)
 
     scale = 0.35 if args.quick else args.scale
@@ -131,11 +141,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: the full benchmark requires >= 200 transactions and k >= 5")
         return 2
 
+    backends = list(args.backends)
+    reference = backends[0]
     assign_times = {}
     assignments = {}
     fit_times = {}
     fit_results = {}
-    for backend in ("python", "numpy"):
+    for backend in backends:
         assign_times[backend], assignments[backend] = bench_assign(
             dataset, backend, args.k, args.f, args.gamma, args.seed, repeats
         )
@@ -143,34 +155,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             dataset, backend, args.k, args.f, args.gamma, args.seed
         )
 
-    if assignments["python"] != assignments["numpy"]:
-        print("FAIL: backends disagree on the assignment step")
-        return 1
-    partition_python = fit_results["python"].partition()
-    partition_numpy = fit_results["numpy"].partition()
-    if partition_python != partition_numpy:
-        print("FAIL: backends disagree on the fitted clustering")
-        return 1
+    for backend in backends[1:]:
+        if assignments[backend] != assignments[reference]:
+            print(f"FAIL: {backend} disagrees with {reference} on the assignment step")
+            return 1
+        if fit_results[backend].partition() != fit_results[reference].partition():
+            print(f"FAIL: {backend} disagrees with {reference} on the fitted clustering")
+            return 1
     print("parity    : identical assignments and identical fitted clusterings")
 
-    assign_speedup = assign_times["python"] / assign_times["numpy"]
-    fit_speedup = fit_times["python"] / fit_times["numpy"]
-    print(f"{'step':<12}{'python':>12}{'numpy':>12}{'speedup':>10}")
+    print(f"{'step':<12}" + "".join(f"{backend:>16}" for backend in backends))
     print(
-        f"{'assign_all':<12}{assign_times['python']:>11.4f}s{assign_times['numpy']:>11.4f}s"
-        f"{assign_speedup:>9.1f}x"
+        f"{'assign_all':<12}"
+        + "".join(f"{assign_times[backend]:>15.4f}s" for backend in backends)
     )
     print(
-        f"{'fit':<12}{fit_times['python']:>11.4f}s{fit_times['numpy']:>11.4f}s"
-        f"{fit_speedup:>9.1f}x"
+        f"{'fit':<12}"
+        + "".join(f"{fit_times[backend]:>15.4f}s" for backend in backends)
     )
-
-    if not args.quick and assign_speedup < args.min_speedup:
+    for backend in backends[1:]:
         print(
-            f"FAIL: numpy backend only {assign_speedup:.1f}x faster on assign_all "
-            f"(required: {args.min_speedup:.1f}x)"
+            f"speedup over {reference} ({backend}): "
+            f"assign_all {assign_times[reference] / assign_times[backend]:.1f}x, "
+            f"fit {fit_times[reference] / fit_times[backend]:.1f}x"
         )
-        return 1
+
+    if not args.quick:
+        if {"python", "numpy"} <= set(backends):
+            assign_speedup = assign_times["python"] / assign_times["numpy"]
+            if assign_speedup < args.min_speedup:
+                print(
+                    f"FAIL: numpy backend only {assign_speedup:.1f}x faster on assign_all "
+                    f"(required: {args.min_speedup:.1f}x)"
+                )
+                return 1
+        else:
+            print(
+                "note: min-speedup gate skipped "
+                "(requires both python and numpy in --backends)"
+            )
     return 0
 
 

@@ -1,0 +1,195 @@
+"""Benchmark B2 -- python vs. numpy backend on representative refinement.
+
+Measures the CXK-means summarisation machinery (``rank_items`` plus the
+``GenerateTreeTuple`` candidate-chain scoring inside
+``compute_local_representative``) on clusters of a synthetic generator
+corpus, once per backend, and reports the speedup of the batch
+representative-scoring engine over the pure-Python reference.  Both
+backends are verified to produce *identical* representatives -- item for
+item -- before any timing is trusted (mirroring ``bench_backend.py``).
+
+Run standalone (no pytest machinery needed)::
+
+    PYTHONPATH=src python benchmarks/bench_representatives.py            # full run
+    PYTHONPATH=src python benchmarks/bench_representatives.py --quick    # CI smoke
+
+The full run uses the DBLP generator corpus at scale 1.0 and fails with a
+non-zero exit status unless the numpy backend is at least ``--min-speedup``
+(default 3.0) times faster on the refinement step; the quick run shrinks
+the corpus and only reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.representatives import compute_local_representative, rank_items
+from repro.core.seeding import select_seed_transactions
+from repro.datasets.registry import get_dataset
+from repro.similarity.cache import TagPathSimilarityCache
+from repro.similarity.item import SimilarityConfig
+from repro.similarity.transaction import SimilarityEngine
+from repro.transactions.transaction import Transaction
+
+
+def _time_best(function, repeats: int) -> Tuple[float, object]:
+    """Return (best wall-clock seconds, last result) over *repeats* calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def make_clusters(
+    dataset, k: int, f: float, gamma: float, seed: int
+) -> List[List[Transaction]]:
+    """Assign the corpus to ``k`` seed representatives to form real clusters.
+
+    Uses the python reference engine so the benchmarked backends both start
+    from the exact same cluster memberships.
+    """
+    engine = SimilarityEngine(
+        SimilarityConfig(f=f, gamma=gamma), cache=TagPathSimilarityCache()
+    )
+    transactions = dataset.transactions
+    representatives = select_seed_transactions(transactions, k, random.Random(seed))
+    clusters: List[List[Transaction]] = [[] for _ in range(k)]
+    for transaction, (index, similarity) in zip(
+        transactions, engine.assign_all(transactions, representatives)
+    ):
+        if similarity > 0.0:
+            clusters[index].append(transaction)
+    return [cluster for cluster in clusters if cluster]
+
+
+def bench_refinement(
+    clusters: Sequence[Sequence[Transaction]],
+    backend: str,
+    f: float,
+    gamma: float,
+    repeats: int,
+) -> Tuple[float, float, List[Transaction]]:
+    """Time ranking and full refinement over every cluster for one backend.
+
+    The engine is prepared the way the experiment driver does it: tag-path
+    cache precomputed, corpus compiled.  Returns (best ranking seconds,
+    best refinement seconds, representatives) -- the representatives are
+    compared across backends before any timing is trusted.
+    """
+    engine = SimilarityEngine(
+        SimilarityConfig(f=f, gamma=gamma),
+        cache=TagPathSimilarityCache(),
+        backend=backend,
+    )
+    members = [transaction for cluster in clusters for transaction in cluster]
+    engine.cache.precompute(
+        {item.tag_path for transaction in members for item in transaction.items}
+    )
+    engine.backend.compile_corpus(members)
+    pools = [
+        [item for transaction in cluster for item in transaction.items]
+        for cluster in clusters
+    ]
+
+    def run_ranking():
+        return [rank_items(pool, engine) for pool in pools]
+
+    def run_refinement():
+        return [
+            compute_local_representative(cluster, engine, representative_id=f"rep:{i}")
+            for i, cluster in enumerate(clusters)
+        ]
+
+    # warm-up outside the timed region (content memo, transient compiles)
+    run_ranking()
+    run_refinement()
+    rank_seconds, _ = _time_best(run_ranking, repeats)
+    refine_seconds, representatives = _time_best(run_refinement, repeats)
+    return rank_seconds, refine_seconds, representatives
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--corpus", default="DBLP", help="synthetic corpus name")
+    parser.add_argument("--scale", type=float, default=1.0, help="corpus scale factor")
+    parser.add_argument("--k", type=int, default=8, help="number of clusters")
+    parser.add_argument("--f", type=float, default=0.5, help="structure/content blend")
+    parser.add_argument("--gamma", type=float, default=0.8, help="gamma threshold")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--repeats", type=int, default=3, help="timed repetitions")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="required numpy-over-python speedup on the refinement step",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small corpus, no speedup requirement",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.35 if args.quick else args.scale
+    repeats = 1 if args.quick else args.repeats
+    dataset = get_dataset(args.corpus, scale=scale, seed=args.seed)
+    clusters = make_clusters(dataset, args.k, args.f, args.gamma, args.seed)
+    print(
+        f"corpus={args.corpus} scale={scale} "
+        f"transactions={len(dataset.transactions)} clusters={len(clusters)} "
+        f"f={args.f} gamma={args.gamma}"
+    )
+    if not clusters:
+        print("error: the seed assignment produced no non-empty clusters")
+        return 2
+
+    rank_times: Dict[str, float] = {}
+    refine_times: Dict[str, float] = {}
+    representatives: Dict[str, List[Transaction]] = {}
+    for backend in ("python", "numpy"):
+        rank_times[backend], refine_times[backend], representatives[backend] = (
+            bench_refinement(clusters, backend, args.f, args.gamma, repeats)
+        )
+
+    mismatch = [
+        index
+        for index, (rep_python, rep_numpy) in enumerate(
+            zip(representatives["python"], representatives["numpy"])
+        )
+        if rep_python.items != rep_numpy.items
+    ]
+    if mismatch:
+        print(f"FAIL: backends disagree on the representatives of clusters {mismatch}")
+        return 1
+    print("parity    : identical representatives for every cluster")
+
+    rank_speedup = rank_times["python"] / rank_times["numpy"]
+    refine_speedup = refine_times["python"] / refine_times["numpy"]
+    print(f"{'step':<12}{'python':>12}{'numpy':>12}{'speedup':>10}")
+    print(
+        f"{'rank_items':<12}{rank_times['python']:>11.4f}s{rank_times['numpy']:>11.4f}s"
+        f"{rank_speedup:>9.1f}x"
+    )
+    print(
+        f"{'refinement':<12}{refine_times['python']:>11.4f}s{refine_times['numpy']:>11.4f}s"
+        f"{refine_speedup:>9.1f}x"
+    )
+
+    if not args.quick and refine_speedup < args.min_speedup:
+        print(
+            f"FAIL: numpy backend only {refine_speedup:.1f}x faster on the "
+            f"refinement step (required: {args.min_speedup:.1f}x)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,29 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         choices=available_backends(),
         help="similarity backend for the clustering hot path",
     )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sharded backend "
+        "(only with --backend sharded; default: one per CPU)",
+    )
+
+
+def _resolve_backend(args: argparse.Namespace) -> str:
+    """Combine ``--backend`` and ``--shard-workers`` into a backend spec."""
+    backend = args.backend
+    shard_workers = getattr(args, "shard_workers", None)
+    if shard_workers is not None:
+        if backend != "sharded":
+            raise SystemExit("--shard-workers requires --backend sharded")
+        if shard_workers < 1:
+            raise SystemExit(
+                f"--shard-workers must be positive, got {shard_workers}"
+            )
+        backend = f"sharded:{shard_workers}"
+    return backend
 
 
 def _add_common_experiment_arguments(parser: argparse.ArgumentParser) -> None:
@@ -116,12 +139,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         reference = dataset.labels_for(args.goal) if args.goal in dataset.labelings else None
 
     k = args.k or (len(set(reference.values())) if reference else 4)
+    backend = _resolve_backend(args)
     config = ClusteringConfig(
         k=k,
         similarity=SimilarityConfig(f=args.f, gamma=args.gamma),
         seed=args.seed,
         max_iterations=args.max_iterations,
-        backend=args.backend,
+        backend=backend,
     )
     algorithm = make_algorithm(args.algorithm, config)
     # populate the tag-path cache (and compile the backend corpus) up front,
@@ -136,7 +160,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     cache_stats = algorithm.engine.cache.stats()
     print(f"algorithm : {result.metadata.get('algorithm')}")
-    print(f"backend   : {args.backend}")
+    print(f"backend   : {backend}")
     print(
         "cache     : entries={entries} hits={hits} misses={misses}".format(**cache_stats)
     )
@@ -162,7 +186,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         gamma=args.gamma,
         seeds=(args.seed,),
         max_iterations=args.max_iterations,
-        backend=args.backend,
+        backend=_resolve_backend(args),
     )
     print(run_figure7(config).report())
     return 0
@@ -175,7 +199,7 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
         gamma=args.gamma,
         seeds=(args.seed,),
         max_iterations=args.max_iterations,
-        backend=args.backend,
+        backend=_resolve_backend(args),
     )
     print(run_figure8(config).report())
     return 0
@@ -189,7 +213,7 @@ def _cmd_table(args: argparse.Namespace, table_number: int) -> int:
         seeds=(args.seed,),
         max_iterations=args.max_iterations,
         goals=tuple(args.goals),
-        backend=args.backend,
+        backend=_resolve_backend(args),
     )
     if table_number == 1:
         result = run_table1(config)

@@ -15,6 +15,8 @@ from repro.core.representatives import (
     conflate_items,
     generate_tree_tuple,
     rank_items,
+    reference_item_ranks,
+    refinement_candidates,
     representatives_equal,
 )
 from repro.core.results import ClusterInfo, ClusteringResult, build_result
@@ -38,6 +40,8 @@ __all__ = [
     "partition_unequally",
     "conflate_items",
     "rank_items",
+    "reference_item_ranks",
+    "refinement_candidates",
     "generate_tree_tuple",
     "compute_local_representative",
     "compute_global_representative",

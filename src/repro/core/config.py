@@ -32,9 +32,12 @@ class ClusteringConfig:
         Optional cap on the number of items a representative may contain, in
         addition to the ``|tr_max|`` bound imposed by GenerateTreeTuple.
     backend:
-        Name of the similarity backend driving the assignment hot path
-        (``"python"`` for the reference loops, ``"numpy"`` for the
-        vectorized batch engine; see :mod:`repro.similarity.backend`).
+        Name of the similarity backend driving the assignment and
+        representative-refinement hot paths (``"python"`` for the reference
+        loops, ``"numpy"`` for the vectorized batch engine,
+        ``"sharded[:workers[:inner]]"`` for the multiprocessing backend
+        sharding ``assign_all`` row blocks across worker processes; see
+        :mod:`repro.similarity.backend`).
     """
 
     k: int

@@ -20,8 +20,20 @@ Implementation note on ``GenerateTreeTuple``: the paper's pseudocode returns
 the representative of the *previous* refinement step when the loop exits
 because the item list is exhausted, which would discard an improving final
 step.  This implementation keeps the best-scoring representative seen during
-the refinement (a strictly-not-worse variant of the same greedy heuristic);
-the behaviour difference is covered by a unit test documenting the choice.
+the refinement (a strictly-not-worse variant of the same greedy heuristic),
+and breaks score ties in favour of the *first* (smallest) candidate that
+attained the best score: a refinement step must strictly improve the
+cohesion score to replace the incumbent, so equal-scoring growth steps never
+bloat the representative.  Both choices are covered by unit tests
+documenting them.
+
+Since the representative-scoring backend extension, the expensive parts of
+the machinery run through the pluggable similarity backend: the item ranking
+is one :meth:`~repro.similarity.transaction.SimilarityEngine.rank_items_batch`
+call and the greedy refinement materialises its whole candidate chain up
+front (:func:`refinement_candidates`) and scores it in batched
+:meth:`~repro.similarity.transaction.SimilarityEngine.score_candidates`
+blocks -- the scalar loops survive only as the ``python`` reference backend.
 """
 
 from __future__ import annotations
@@ -141,6 +153,27 @@ def content_rank(item: TreeTupleItem, items: Sequence[TreeTupleItem]) -> float:
     return sum(vector.cosine(other.vector) for other in items)
 
 
+def reference_item_ranks(
+    items: Sequence[TreeTupleItem], engine: SimilarityEngine
+) -> List[float]:
+    """Blended (pre-weight) ranks of *items*: the reference loops.
+
+    One ``f * rank_S + (1 - f) * rank_C`` value per item, in input order.
+    This is the executable specification behind
+    :meth:`~repro.similarity.backend.SimilarityBackend.rank_items_batch`;
+    the ``python`` backend delegates here, and the vectorized backends are
+    required to reproduce these floats bit-for-bit.
+    """
+    item_list = list(items)
+    frequencies = _path_frequencies(item_list)
+    f = engine.config.f
+    return [
+        f * structural_rank(item, item_list, frequencies, engine)
+        + (1.0 - f) * content_rank(item, item_list)
+        for item in item_list
+    ]
+
+
 def rank_items(
     items: Sequence[TreeTupleItem],
     engine: SimilarityEngine,
@@ -148,12 +181,18 @@ def rank_items(
 ) -> List[RankedItem]:
     """Rank *items* by the blended structural/content ranking (Fig. 6).
 
+    The blended ranks of the whole pool are computed by one batched
+    :meth:`~repro.similarity.transaction.SimilarityEngine.rank_items_batch`
+    call on the engine's similarity backend; weighting, sorting and
+    tie-breaking stay here.
+
     Parameters
     ----------
     items:
         The item pool ``I_C`` (local case) or ``I_T[1]`` (global case).
     engine:
-        Similarity engine providing ``f``, ``gamma`` and the tag-path cache.
+        Similarity engine providing ``f``, ``gamma``, the tag-path cache and
+        the ranking backend.
     weights:
         Optional per-item weights ``w``; when provided the final rank is
         multiplied by the weight, as done by ComputeGlobalRepresentative.
@@ -165,13 +204,9 @@ def rank_items(
         ordering is deterministic.
     """
     item_list = list(items)
-    frequencies = _path_frequencies(item_list)
-    f = engine.config.f
+    ranks = engine.rank_items_batch(item_list)
     ranked: List[RankedItem] = []
-    for item in item_list:
-        rank_s = structural_rank(item, item_list, frequencies, engine)
-        rank_c = content_rank(item, item_list)
-        rank = f * rank_s + (1.0 - f) * rank_c
+    for item, rank in zip(item_list, ranks):
         weight = 1.0
         if weights is not None:
             weight = weights.get(item, 1.0)
@@ -184,39 +219,32 @@ def rank_items(
 # --------------------------------------------------------------------------- #
 # GenerateTreeTuple
 # --------------------------------------------------------------------------- #
-def generate_tree_tuple(
-    ranked_items: Sequence[RankedItem],
-    cluster: Sequence[Transaction],
-    engine: SimilarityEngine,
-    representative_id: str = "rep",
-    max_items: Optional[int] = None,
-) -> Transaction:
-    """Greedy assembly of a representative transaction (Fig. 6, GenerateTreeTuple).
+#: Initial block size of the progressive candidate scoring; doubled after
+#: every scored block, so a refinement that runs to the length bound scores
+#: O(log chain) batched blocks while an early score-driven exit wastes at
+#: most one block of look-ahead.
+_SCORE_BLOCK = 4
 
-    Items are consumed in batches of equal (highest) rank; after conflation
-    the candidate representative is scored by the sum of its
-    ``sim^gamma_J`` similarities to the cluster members, and refinement
-    stops when the score stops improving, the representative grows beyond
-    the longest member transaction, or the items are exhausted.
+
+def refinement_candidates(
+    ranked_items: Sequence[RankedItem], max_member_length: int
+) -> List[List[TreeTupleItem]]:
+    """The deterministic candidate chain of one GenerateTreeTuple refinement.
+
+    Greedy refinement consumes equal-rank batches in rank order, so the
+    candidate of step ``t`` is the conflation of all batches up to ``t`` --
+    independent of any similarity score.  The whole chain can therefore be
+    materialised up front and scored in batched backend calls; only the
+    score-driven early exit has to be replayed on the resulting score
+    vector (done by :func:`generate_tree_tuple`).
+
+    The chain ends when a step would grow the candidate beyond
+    *max_member_length* (the first batch is trimmed item by item instead, as
+    in the reference loop) or when the items are exhausted.
     """
-    if not cluster:
-        return make_transaction(representative_id, [], sort_items=True)
-
-    max_member_length = max(len(transaction) for transaction in cluster)
-    if max_items is not None:
-        max_member_length = min(max_member_length, max_items)
-
     remaining: List[RankedItem] = list(ranked_items)
-    best_items: List[TreeTupleItem] = []
-    best_score = 0.0
+    chain: List[List[TreeTupleItem]] = []
     current_items: List[TreeTupleItem] = []
-
-    def score_of(items: Sequence[TreeTupleItem]) -> float:
-        candidate = make_transaction(representative_id, items, sort_items=True)
-        # one batched member-vs-candidate column instead of a scalar loop
-        column = engine.pairwise_transaction_similarity(cluster, [candidate])
-        return sum(row[0] for row in column)
-
     while remaining:
         top_rank = remaining[0].rank
         batch = [entry.item for entry in remaining if entry.rank == top_rank]
@@ -236,15 +264,71 @@ def generate_tree_tuple(
                     break
                 trimmed = extended
             candidate_items = trimmed
-        candidate_score = score_of(candidate_items)
-        if candidate_score < best_score:
-            break
+        chain.append(candidate_items)
         current_items = candidate_items
-        if candidate_score >= best_score:
-            best_score = candidate_score
-            best_items = candidate_items
         if len(current_items) >= max_member_length:
             break
+    return chain
+
+
+def generate_tree_tuple(
+    ranked_items: Sequence[RankedItem],
+    cluster: Sequence[Transaction],
+    engine: SimilarityEngine,
+    representative_id: str = "rep",
+    max_items: Optional[int] = None,
+) -> Transaction:
+    """Greedy assembly of a representative transaction (Fig. 6, GenerateTreeTuple).
+
+    Items are consumed in batches of equal (highest) rank; each refinement
+    step's candidate is the conflation of everything consumed so far, scored
+    by the sum of its ``sim^gamma_J`` similarities to the cluster members.
+    Refinement stops when the score drops below the best seen, the
+    representative grows beyond the longest member transaction, or the items
+    are exhausted.
+
+    Because the candidate chain is score-independent
+    (:func:`refinement_candidates`), all candidate tree tuples of the
+    refinement are scored through the batched
+    :meth:`~repro.similarity.transaction.SimilarityEngine.score_candidates`
+    entry point in progressively doubling blocks, and the reference loop's
+    exit conditions are replayed on the precomputed scores.
+
+    The returned representative is the *first* candidate that attained the
+    best score: a step must strictly improve the score to replace the
+    incumbent, so an equal-scoring growth step never enlarges the
+    representative (first-best-wins; pinned by a regression test).
+    """
+    if not cluster:
+        return make_transaction(representative_id, [], sort_items=True)
+
+    max_member_length = max(len(transaction) for transaction in cluster)
+    if max_items is not None:
+        max_member_length = min(max_member_length, max_items)
+
+    chain = refinement_candidates(ranked_items, max_member_length)
+    candidates = [
+        make_transaction(representative_id, items, sort_items=True) for items in chain
+    ]
+
+    best_items: List[TreeTupleItem] = []
+    best_score = 0.0
+    index = 0
+    block = _SCORE_BLOCK
+    while index < len(candidates):
+        scores = engine.score_candidates(cluster, candidates[index : index + block])
+        stopped = False
+        for offset, candidate_score in enumerate(scores):
+            if candidate_score < best_score:
+                stopped = True
+                break
+            if candidate_score > best_score:
+                best_score = candidate_score
+                best_items = chain[index + offset]
+        if stopped:
+            break
+        index += len(scores)
+        block *= 2
 
     return make_transaction(representative_id, best_items, sort_items=True)
 
@@ -262,8 +346,9 @@ def compute_local_representative(
 
     Collects the items of every member transaction, ranks them by the blended
     structural/content ranking and assembles the representative through
-    :func:`generate_tree_tuple`.  An empty cluster yields an empty
-    representative transaction.
+    :func:`generate_tree_tuple`; both the ranking and the refinement scoring
+    run through the engine's batched backend entry points.  An empty cluster
+    yields an empty representative transaction.
     """
     items: List[TreeTupleItem] = []
     for transaction in cluster:

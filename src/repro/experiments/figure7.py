@@ -38,7 +38,8 @@ class Figure7Config:
     #: harness runs at reduced scale (e.g. the IEEE profile produces fewer
     #: documents per scale unit than DBLP or Wikipedia).
     dataset_scale_multipliers: Dict[str, float] = field(default_factory=dict)
-    #: Similarity backend driving the clustering hot path.
+    #: Similarity backend spec driving the clustering hot path
+    #: (``"python"``, ``"numpy"`` or ``"sharded[:workers[:inner]]"``).
     backend: str = "python"
 
 

@@ -33,7 +33,8 @@ class Figure8Config:
     seeds: Sequence[int] = (0,)
     max_iterations: int = 6
     cost_model: CostModel = field(default_factory=CostModel)
-    #: Similarity backend driving the clustering hot path.
+    #: Similarity backend spec driving the clustering hot path
+    #: (``"python"``, ``"numpy"`` or ``"sharded[:workers[:inner]]"``).
     backend: str = "python"
 
 

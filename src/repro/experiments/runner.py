@@ -159,12 +159,19 @@ def run_configuration(
         backend=backend,
     )
     algo = make_algorithm(algorithm, config, cost_model=cost_model)
-    precompute_similarity(algo, dataset.transactions)
-    if isinstance(algo, XKMeans):
-        result = algo.fit(dataset.transactions)
-    else:
-        parts = partition(dataset.transactions, nodes, scheme=scheme, seed=seed)
-        result = algo.fit(parts)
+    try:
+        precompute_similarity(algo, dataset.transactions)
+        if isinstance(algo, XKMeans):
+            result = algo.fit(dataset.transactions)
+        else:
+            parts = partition(dataset.transactions, nodes, scheme=scheme, seed=seed)
+            result = algo.fit(parts)
+    finally:
+        # release backend resources (sharded worker pools) before the next
+        # sweep point; a no-op for the in-process backends
+        backend_object = algo.engine._backend
+        if hasattr(backend_object, "close"):
+            backend_object.close()
     f_measure = overall_f_measure(result.partition(), reference)
     network = result.network or {}
     return RunRecord(
@@ -239,6 +246,8 @@ class ExperimentSweep:
     max_iterations: int = 8
     cost_model: CostModel = field(default_factory=CostModel)
     dataset_seed: int = 0
+    #: Similarity backend spec driving the clustering hot path
+    #: (``"python"``, ``"numpy"`` or ``"sharded[:workers[:inner]]"``).
     backend: str = "python"
 
     def effective_f_values(self) -> List[float]:

@@ -50,7 +50,8 @@ class AccuracyTableConfig:
     max_iterations: int = 6
     cost_model: CostModel = field(default_factory=CostModel)
     datasets: Optional[Sequence[str]] = None
-    #: Similarity backend driving the clustering hot path.
+    #: Similarity backend spec driving the clustering hot path
+    #: (``"python"``, ``"numpy"`` or ``"sharded[:workers[:inner]]"``).
     backend: str = "python"
 
 

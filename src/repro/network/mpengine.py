@@ -25,12 +25,16 @@ node works against one compiled corpus.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import sys
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.similarity.cache import TagPathSimilarityCache
 from repro.similarity.item import SimilarityConfig
 from repro.similarity.transaction import SimilarityEngine
+from repro.transactions.transaction import Transaction
 
 #: Per-process engines keyed by (similarity config, backend name).  Worker
 #: processes of the multiprocessing executor populate this lazily on their
@@ -54,6 +58,54 @@ def process_engine(similarity: SimilarityConfig, backend: str = "python") -> Sim
 def clear_process_engines() -> None:
     """Drop every cached per-process engine (used by tests)."""
     _PROCESS_ENGINES.clear()
+
+
+@dataclass
+class AssignmentShard:
+    """One contiguous row block of a sharded ``assign_all`` call.
+
+    The :class:`~repro.similarity.backend.ShardedBackend` splits the
+    transaction rows of an assignment step into one shard per worker; each
+    shard carries everything a worker process needs to evaluate its block
+    independently: the rows, the full representative set, the similarity
+    configuration and the name of the in-process backend to evaluate with.
+    """
+
+    transactions: List[Transaction]
+    representatives: List[Transaction]
+    similarity: SimilarityConfig
+    backend: str
+
+
+def assign_shard(shard: AssignmentShard) -> List[Tuple[int, float]]:
+    """Worker entry point of the sharded backend (module-level, picklable).
+
+    Evaluates one row block against the full representative set on this
+    process' cached engine (:func:`process_engine`), so a pool worker keeps
+    its tag-path cache and compiled corpus across assignment rounds.  The
+    per-row results come back in row order; the caller concatenates the
+    blocks in shard order, which makes the merged assignment deterministic.
+    """
+    engine = process_engine(shard.similarity, shard.backend)
+    return engine.assign_all(shard.transactions, shard.representatives)
+
+
+def _spawn_main_is_replayable() -> bool:
+    """Return True when ``spawn`` workers can re-import the main module.
+
+    The ``spawn`` start method replays the parent's ``__main__`` from its
+    file path inside every worker.  When the parent was fed from stdin or an
+    interactive session, that path does not exist on disk; workers then die
+    during interpreter bootstrap and the pool respawns them forever -- a
+    hang rather than an error.  Detecting the situation up front lets the
+    executor fall back to serial execution instead.
+    """
+    main_module = sys.modules.get("__main__")
+    main_path = getattr(main_module, "__file__", None)
+    if main_path is None:
+        # e.g. ``python -c``: nothing to replay, spawn is safe
+        return True
+    return os.path.exists(main_path)
 
 
 class SerialExecutor:
@@ -97,7 +149,11 @@ class MultiprocessingExecutor:
     def map(self, function: Callable[[Any], Any], arguments: Sequence[Any]) -> List[Any]:
         """Apply *function* in parallel, falling back to serial on failure."""
         arguments = list(arguments)
-        if self._processes <= 1 or len(arguments) <= 1:
+        if (
+            self._processes <= 1
+            or len(arguments) <= 1
+            or not _spawn_main_is_replayable()
+        ):
             return [function(argument) for argument in arguments]
         try:
             pickle.dumps(function)

@@ -5,6 +5,7 @@ from repro.similarity.backend import (
     BackendUnavailableError,
     NumpyBackend,
     PythonBackend,
+    ShardedBackend,
     SimilarityBackend,
     available_backends,
     create_backend,
@@ -33,6 +34,7 @@ __all__ = [
     "SimilarityBackend",
     "PythonBackend",
     "NumpyBackend",
+    "ShardedBackend",
     "available_backends",
     "create_backend",
     "register_backend",

@@ -20,7 +20,21 @@ architecture:
   structural-similarity matrix, content-class id arrays indexing a memoised
   content-similarity block, item-uid arrays for the union counts) and
   evaluates the two directed gamma-match passes as vectorized row/column
-  reductions.
+  reductions;
+* ``"sharded"`` -- :class:`ShardedBackend`, which splits the rows of the
+  bulk ``assign_all`` call into contiguous blocks evaluated by worker
+  processes (each with a cached per-process engine, see
+  :mod:`repro.network.mpengine`) and concatenates the per-block results in
+  block order; every other entry point is served in-process by an inner
+  ``numpy``/``python`` backend.  Selected as ``"sharded[:workers[:inner]]"``.
+
+Since this PR the protocol also covers the CXK-means *summarisation*
+machinery: :meth:`SimilarityBackend.score_candidates` evaluates every
+candidate tree tuple of one ``GenerateTreeTuple`` refinement as a batched
+cluster-vs-candidates block, and :meth:`SimilarityBackend.rank_items_batch`
+computes the blended structural/content item ranks of a whole item pool at
+once (the numpy backend reuses the compiled tag-path matrix and memoises
+TCU cosines per content class).
 
 Bit-exact parity
 ----------------
@@ -169,6 +183,27 @@ class SimilarityBackend(Protocol):
         """
         ...
 
+    def score_candidates(
+        self, cluster: Sequence[Transaction], candidates: Sequence[Transaction]
+    ) -> List[float]:
+        """Cohesion score of each candidate representative against *cluster*.
+
+        The score of a candidate is the sum of its ``sim^gamma_J``
+        similarities to every cluster member (the objective GenerateTreeTuple
+        maximises); one call evaluates all candidate tree tuples of a
+        refinement step.
+        """
+        ...
+
+    def rank_items_batch(self, items: Sequence[TreeTupleItem]) -> List[float]:
+        """Blended (pre-weight) structural/content ranks of *items*.
+
+        Returns one ``f * rank_S + (1 - f) * rank_C`` value per item, in
+        input order; sorting, tie-breaking and the global-case weights stay
+        in :func:`repro.core.representatives.rank_items`.
+        """
+        ...
+
 
 # --------------------------------------------------------------------------- #
 # Reference backend
@@ -228,6 +263,24 @@ class PythonBackend:
     def compile_corpus(self, transactions: Sequence[Transaction]) -> int:
         return 0
 
+    def score_candidates(
+        self, cluster: Sequence[Transaction], candidates: Sequence[Transaction]
+    ) -> List[float]:
+        # same accumulation order as the historical per-candidate loop
+        # (sum over the cluster members, in member order)
+        similarity = self.engine.transaction_similarity
+        return [
+            sum(similarity(member, candidate) for member in cluster)
+            for candidate in candidates
+        ]
+
+    def rank_items_batch(self, items: Sequence[TreeTupleItem]) -> List[float]:
+        # the reference loops live next to the ranking definitions; imported
+        # lazily to keep the module graph acyclic
+        from repro.core.representatives import reference_item_ranks
+
+        return reference_item_ranks(items, self.engine)
+
 
 # --------------------------------------------------------------------------- #
 # Vectorized backend
@@ -285,6 +338,7 @@ class NumpyBackend:
         self._content_index: Dict[tuple, int] = {}
         self._content_exemplars: List[TreeTupleItem] = []
         self._content_memo: Dict[Tuple[int, int], float] = {}
+        self._cosine_memo: Dict[Tuple[int, int], float] = {}
         self._uid_index: Dict[TreeTupleItem, int] = {}
         # --- compiled transactions ---------------------------------------- #
         # The pinned cache is keyed by transaction *value* (transactions are
@@ -442,6 +496,30 @@ class NumpyBackend:
                 value = memo.get(pair)
                 if value is None:
                     value = content_similarity(row_item, exemplars[column_class])
+                    memo[pair] = value
+                block[i, j] = value
+        return block
+
+    def _cosine_block(self, classes):
+        """Dense TCU-cosine block for the given content-class ids.
+
+        ``rank_C`` sums :meth:`~repro.text.vector.SparseVector.cosine`
+        values, which depend only on the vectors' ordered term/weight
+        sequences -- exactly the information the content-class key pins --
+        so one cosine per ordered class pair reproduces every per-item
+        cosine of the reference loop bit-for-bit.
+        """
+        np = self._np
+        memo = self._cosine_memo
+        exemplars = self._content_exemplars
+        block = np.empty((len(classes), len(classes)), dtype=np.float64)
+        for i, row_class in enumerate(classes):
+            row_vector = exemplars[row_class].vector
+            for j, column_class in enumerate(classes):
+                pair = (row_class, column_class)
+                value = memo.get(pair)
+                if value is None:
+                    value = row_vector.cosine(exemplars[column_class].vector)
                     memo[pair] = value
                 block[i, j] = value
         return block
@@ -625,34 +703,330 @@ class NumpyBackend:
         values = sims[np.arange(sims.shape[0]), best]
         return [(int(index), float(value)) for index, value in zip(best, values)]
 
+    # ------------------------------------------------------------------ #
+    # Representative refinement (batch scoring and ranking)
+    # ------------------------------------------------------------------ #
+    def score_candidates(
+        self, cluster: Sequence[Transaction], candidates: Sequence[Transaction]
+    ) -> List[float]:
+        candidates = list(candidates)
+        if not candidates:
+            return []
+        cluster = list(cluster)
+        np = self._np
+        totals = np.zeros(len(candidates), dtype=np.float64)
+        if cluster:
+            sims = self._pair_similarities(cluster, candidates)
+            # accumulate row by row: per candidate the same left-to-right
+            # member-order sum as the reference loop, hence the same float
+            for row in sims:
+                totals = totals + row
+        return [float(total) for total in totals]
+
+    def rank_items_batch(self, items: Sequence[TreeTupleItem]) -> List[float]:
+        items = list(items)
+        n = len(items)
+        if not n:
+            return []
+        np = self._np
+        f = self.config.f
+        gamma = self.config.gamma
+
+        # --- structural ranking (per distinct complete path) --------------- #
+        if f != 0.0:
+            path_counts: Dict[object, int] = {}
+            for item in items:
+                path_counts[item.path] = path_counts.get(item.path, 0) + 1
+            distinct_paths = list(path_counts)
+            item_tp = np.array(
+                [self._tag_path_id(item.tag_path) for item in items], dtype=np.intp
+            )
+            pool_tp = np.array(
+                [self._tag_path_id(path.tag_path()) for path in distinct_paths],
+                dtype=np.intp,
+            )
+            tp_matrix = self._ensure_tp_matrix()
+            structural = tp_matrix[item_tp[:, None], pool_tp[None, :]]
+            counts = np.array(
+                [path_counts[path] for path in distinct_paths], dtype=np.float64
+            )
+            # the masked sums are integer-valued, so they are exact in any
+            # summation order and match the scalar accumulation bit-for-bit
+            rank_s = np.where(structural >= gamma, counts[None, :], 0.0).sum(
+                axis=1
+            ) / len(distinct_paths)
+        else:
+            rank_s = np.zeros(n, dtype=np.float64)
+
+        # --- content ranking (memoised per-class cosine block) ------------- #
+        if f != 1.0:
+            class_ids = np.array([self._content_id(item) for item in items], dtype=np.intp)
+            present = np.unique(class_ids)
+            block = self._cosine_block(present.tolist())
+            remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
+            remap[present] = np.arange(len(present), dtype=np.intp)
+            local = remap[class_ids]
+            cosines = block[local[:, None], local[None, :]]
+            # accumulate column by column so every rank is the same
+            # sequential left-to-right sum as the reference loop
+            rank_c = np.zeros(n, dtype=np.float64)
+            for j in range(n):
+                rank_c = rank_c + cosines[:, j]
+            empty = np.array([not item.vector for item in items], dtype=bool)
+            rank_c[empty] = 0.0
+        else:
+            # the reference blend multiplies rank_C by (1 - f) == 0.0, so any
+            # finite value yields the same float; skip the cosine work
+            rank_c = np.zeros(n, dtype=np.float64)
+
+        ranks = f * rank_s + (1.0 - f) * rank_c
+        return [float(rank) for rank in ranks]
+
+
+# --------------------------------------------------------------------------- #
+# Sharded multiprocessing backend
+# --------------------------------------------------------------------------- #
+class ShardedBackend:
+    """Multiprocessing backend sharding ``assign_all`` row blocks.
+
+    Every scalar and batch entry point is served by an in-process *inner*
+    backend (the vectorized numpy engine when importable, the python
+    reference otherwise); only the corpus-scale ``assign_all`` call is
+    parallelised.  The transaction rows are split into one contiguous block
+    per worker, each block is dispatched through a
+    :class:`~repro.network.mpengine.MultiprocessingExecutor` to
+    :func:`~repro.network.mpengine.assign_shard`, which evaluates it on the
+    worker process' cached engine
+    (:func:`~repro.network.mpengine.process_engine`), and the per-block
+    results are concatenated in block order.  The merge is therefore
+    deterministic, and because every shard is evaluated by a bit-exact inner
+    backend against the full representative set, the sharded assignment is
+    identical to the serial one.
+
+    The worker count and inner backend are selected through backend-name
+    options: ``"sharded"`` uses one worker per CPU, ``"sharded:4"`` uses 4
+    workers and ``"sharded:4:python"`` additionally pins the inner backend.
+    Small row counts (below :data:`MIN_SHARD_ROWS`), a single worker, or any
+    dispatch failure (unpicklable payloads, pool spawn failures -- e.g. when
+    already inside a daemonic pool worker) fall back to the in-process inner
+    backend, so ``sharded`` is always safe to select.
+    """
+
+    name = "sharded"
+
+    #: Below this many assignment rows the in-process inner backend is used
+    #: directly (process dispatch would dominate the actual work).
+    MIN_SHARD_ROWS = 8
+
+    def __init__(self, engine: "SimilarityEngine", options: Optional[str] = None) -> None:
+        self.engine = engine
+        self.workers, self.inner_name = self._parse_options(options)
+        self._inner = create_backend(self.inner_name, engine)
+        self._executor = None
+
+    @staticmethod
+    def _parse_options(options: Optional[str]) -> Tuple[int, str]:
+        workers: Optional[int] = None
+        inner = "numpy" if _numpy_importable() else "python"
+        if options:
+            parts = options.split(":")
+            if len(parts) > 2:
+                raise ValueError(
+                    f"invalid sharded backend options {options!r} "
+                    "(expected 'sharded[:workers[:inner]]')"
+                )
+            if parts[0]:
+                try:
+                    workers = int(parts[0])
+                except ValueError:
+                    raise ValueError(
+                        f"invalid sharded worker count: {parts[0]!r}"
+                    ) from None
+                if workers < 1:
+                    raise ValueError(
+                        f"sharded worker count must be positive, got {workers}"
+                    )
+            if len(parts) > 1 and parts[1]:
+                inner = parts[1]
+                if inner.split(":")[0] == "sharded":
+                    raise ValueError("the sharded backend cannot shard itself")
+        if workers is None:
+            import multiprocessing
+
+            workers = multiprocessing.cpu_count()
+        return workers, inner
+
+    # ------------------------------------------------------------------ #
+    # Executor lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_executor(self):
+        if self._executor is None:
+            from repro.network.mpengine import make_executor
+
+            self._executor = make_executor(parallel=True, processes=self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Release the worker pool (recreated lazily on the next shard)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "ShardedBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - defensive cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Delegated entry points (in-process inner backend)
+    # ------------------------------------------------------------------ #
+    def item_similarity(self, item_a: TreeTupleItem, item_b: TreeTupleItem) -> float:
+        return self._inner.item_similarity(item_a, item_b)
+
+    def gamma_shared_items(
+        self, tr1: Transaction, tr2: Transaction
+    ) -> Set[TreeTupleItem]:
+        return self._inner.gamma_shared_items(tr1, tr2)
+
+    def transaction_similarity(self, tr1: Transaction, tr2: Transaction) -> float:
+        return self._inner.transaction_similarity(tr1, tr2)
+
+    def pairwise_transaction_similarity(
+        self, rows: Sequence[Transaction], columns: Sequence[Transaction]
+    ) -> List[List[float]]:
+        return self._inner.pairwise_transaction_similarity(rows, columns)
+
+    def nearest_representative(
+        self, transaction: Transaction, representatives: Sequence[Transaction]
+    ) -> Tuple[int, float]:
+        return self._inner.nearest_representative(transaction, representatives)
+
+    def compile_corpus(self, transactions: Sequence[Transaction]) -> int:
+        return self._inner.compile_corpus(transactions)
+
+    def score_candidates(
+        self, cluster: Sequence[Transaction], candidates: Sequence[Transaction]
+    ) -> List[float]:
+        return self._inner.score_candidates(cluster, candidates)
+
+    def rank_items_batch(self, items: Sequence[TreeTupleItem]) -> List[float]:
+        return self._inner.rank_items_batch(items)
+
+    # ------------------------------------------------------------------ #
+    # Sharded assignment
+    # ------------------------------------------------------------------ #
+    def _row_blocks(self, transactions: List[Transaction]) -> List[List[Transaction]]:
+        """Split rows into at most ``workers`` contiguous non-empty blocks."""
+        total = len(transactions)
+        shards = min(self.workers, total)
+        size, remainder = divmod(total, shards)
+        blocks: List[List[Transaction]] = []
+        start = 0
+        for index in range(shards):
+            stop = start + size + (1 if index < remainder else 0)
+            blocks.append(transactions[start:stop])
+            start = stop
+        return blocks
+
+    def assign_all(
+        self,
+        transactions: Sequence[Transaction],
+        representatives: Sequence[Transaction],
+    ) -> List[Tuple[int, float]]:
+        transactions = list(transactions)
+        if not representatives:
+            return [(-1, 0.0) for _ in transactions]
+        if self.workers <= 1 or len(transactions) < self.MIN_SHARD_ROWS:
+            return self._inner.assign_all(transactions, representatives)
+        from repro.network.mpengine import AssignmentShard, assign_shard
+
+        representatives = list(representatives)
+        shards = [
+            AssignmentShard(
+                transactions=block,
+                representatives=representatives,
+                similarity=self.engine.config,
+                backend=self.inner_name,
+            )
+            for block in self._row_blocks(transactions)
+        ]
+        results = self._ensure_executor().map(assign_shard, shards)
+        return [pair for block_result in results for pair in block_result]
+
 
 # --------------------------------------------------------------------------- #
 # Registry
 # --------------------------------------------------------------------------- #
-_REGISTRY: Dict[str, Callable[["SimilarityEngine"], SimilarityBackend]] = {}
+_REGISTRY: Dict[str, Callable[..., SimilarityBackend]] = {}
 
 
-def register_backend(
-    name: str, factory: Callable[["SimilarityEngine"], SimilarityBackend]
-) -> None:
-    """Register a backend *factory* under *name* (case-insensitive)."""
+def register_backend(name: str, factory: Callable[..., SimilarityBackend]) -> None:
+    """Register a backend *factory* under *name* (case-insensitive).
+
+    A factory is called as ``factory(engine)``; factories that support
+    backend-name options (``"name:options"``) must additionally accept the
+    option string as a second positional argument.
+    """
     _REGISTRY[name.lower()] = factory
 
 
 def create_backend(name: Optional[str], engine: "SimilarityEngine") -> SimilarityBackend:
     """Instantiate the backend registered under *name* for *engine*.
 
-    ``None`` selects :data:`DEFAULT_BACKEND`.  Unknown names raise a
-    ``ValueError`` listing the registered alternatives.
+    ``None`` selects :data:`DEFAULT_BACKEND`.  A ``"name:options"`` spec
+    passes the option string to the factory (e.g. ``"sharded:4"`` for four
+    worker processes).  Unknown names raise a ``ValueError`` listing the
+    registered alternatives.
     """
     key = (name or DEFAULT_BACKEND).lower()
-    factory = _REGISTRY.get(key)
+    base, _, options = key.partition(":")
+    factory = _REGISTRY.get(base)
     if factory is None:
         raise ValueError(
             f"unknown similarity backend: {name!r} "
             f"(registered: {', '.join(sorted(_REGISTRY))})"
         )
+    if options:
+        if not _factory_accepts_options(factory):
+            raise ValueError(
+                f"similarity backend {base!r} accepts no options (got {options!r})"
+            )
+        return factory(engine, options)
     return factory(engine)
+
+
+def _factory_accepts_options(factory: Callable[..., SimilarityBackend]) -> bool:
+    """True when *factory* can be called with a second (options) argument.
+
+    Decided from the signature rather than by catching ``TypeError`` around
+    the call, so a genuine ``TypeError`` raised *inside* an option-accepting
+    factory keeps its real traceback instead of being misreported as
+    "accepts no options".
+    """
+    import inspect
+
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return True
+    positional = [
+        parameter
+        for parameter in signature.parameters.values()
+        if parameter.kind
+        in (parameter.POSITIONAL_ONLY, parameter.POSITIONAL_OR_KEYWORD)
+    ]
+    has_var_positional = any(
+        parameter.kind is parameter.VAR_POSITIONAL
+        for parameter in signature.parameters.values()
+    )
+    return has_var_positional or len(positional) >= 2
 
 
 def registered_backends() -> Tuple[str, ...]:
@@ -661,7 +1035,11 @@ def registered_backends() -> Tuple[str, ...]:
 
 
 def available_backends() -> Tuple[str, ...]:
-    """Return the registered backends usable in this environment."""
+    """Return the registered backends usable in this environment.
+
+    ``sharded`` is always usable: it degrades to its in-process inner
+    backend when worker pools cannot be spawned.
+    """
     names = []
     for name in registered_backends():
         if name == "numpy" and not _numpy_importable():
@@ -672,3 +1050,4 @@ def available_backends() -> Tuple[str, ...]:
 
 register_backend("python", PythonBackend)
 register_backend("numpy", NumpyBackend)
+register_backend("sharded", ShardedBackend)

@@ -23,6 +23,15 @@ class TagPathSimilarityCache:
     The cache is symmetric: ``(p, q)`` and ``(q, p)`` share one entry.  It can
     be pre-populated with :meth:`precompute` (the strategy suggested by the
     complexity analysis) or filled lazily on first use.
+
+    Entries are always *computed* in canonical key order, not in the
+    caller's argument order: :func:`tag_path_similarity` sums the two
+    directed matching passes in argument order, so swapping its operands can
+    change the result by one ULP, and a cache filled in query order would
+    return history-dependent floats for mathematically identical pairs --
+    enough to flip exact argmax ties in the gamma matching.  Canonical-order
+    evaluation makes every similarity a pure function of the two paths,
+    which the backend parity harness relies on.
     """
 
     def __init__(self) -> None:
@@ -41,7 +50,7 @@ class TagPathSimilarityCache:
         value = self._cache.get(key)
         if value is None:
             self.misses += 1
-            value = tag_path_similarity(path_a.steps, path_b.steps)
+            value = tag_path_similarity(key[0].steps, key[1].steps)
             self._cache[key] = value
         else:
             self.hits += 1
@@ -61,7 +70,7 @@ class TagPathSimilarityCache:
             for path_b in paths[i:]:
                 key = self._key(path_a, path_b)
                 if key not in self._cache:
-                    self._cache[key] = tag_path_similarity(path_a.steps, path_b.steps)
+                    self._cache[key] = tag_path_similarity(key[0].steps, key[1].steps)
         return len(self._cache)
 
     def __len__(self) -> int:

@@ -248,6 +248,19 @@ class SimilarityEngine:
         """Batched ``sim^gamma_J`` block ``[rows x columns]`` via the backend."""
         return self.backend.pairwise_transaction_similarity(rows, columns)
 
+    def score_candidates(
+        self, cluster: Sequence[Transaction], candidates: Sequence[Transaction]
+    ) -> List[float]:
+        """Cohesion score (sum of member similarities) per candidate
+        representative, evaluated as one batched block by the backend; the
+        objective maximised by the GenerateTreeTuple refinement."""
+        return self.backend.score_candidates(cluster, candidates)
+
+    def rank_items_batch(self, items: Sequence["TreeTupleItem"]) -> List[float]:
+        """Blended (pre-weight) structural/content ranks of an item pool
+        (Fig. 6), one batched backend call instead of per-item loops."""
+        return self.backend.rank_items_batch(items)
+
     def similarity_matrix(
         self, transactions: Sequence[Transaction]
     ) -> List[List[float]]:

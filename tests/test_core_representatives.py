@@ -3,11 +3,14 @@
 import pytest
 
 from repro.core.representatives import (
+    RankedItem,
     compute_global_representative,
     compute_local_representative,
     conflate_items,
     generate_tree_tuple,
     rank_items,
+    reference_item_ranks,
+    refinement_candidates,
     representatives_equal,
 )
 from repro.similarity.item import SimilarityConfig
@@ -105,6 +108,12 @@ class TestRankItems:
         ranked = rank_items([a, b], engine)
         assert ranked[0].rank == pytest.approx(ranked[1].rank)
 
+    def test_rank_items_blends_exactly_the_reference_ranks(self, hybrid_engine):
+        pool = [item(f"r.p{i}.S", f"v{i}", {i: 1.0, i + 1: 0.5}) for i in range(4)]
+        reference = dict(zip(pool, reference_item_ranks(pool, hybrid_engine)))
+        for entry in rank_items(pool, hybrid_engine):
+            assert entry.rank == reference[entry.item]  # exact, not approximate
+
 
 class TestGenerateTreeTuple:
     def test_empty_cluster_produces_empty_representative(self, hybrid_engine):
@@ -141,6 +150,62 @@ class TestGenerateTreeTuple:
         rep = generate_tree_tuple(rank_items(pool, hybrid_engine), members, hybrid_engine)
         paths = [i.path for i in rep.items]
         assert len(paths) == len(set(paths))
+
+    def test_tied_refinement_steps_keep_the_first_best_candidate(self):
+        """Regression test for the best-seen tracking on score ties.
+
+        The historical loop updated the incumbent on ``score >= best``, so a
+        refinement step that merely *tied* the best score replaced the
+        representative with a larger candidate.  The documented semantics is
+        first-best-wins: a step must strictly improve the cohesion score to
+        replace the incumbent, so equal-scoring growth never bloats the
+        representative.
+
+        The scenario: two symmetric members ``{x, x}`` / ``{y, y}`` with
+        structurally dissimilar items.  The candidate ``{x}`` scores
+        ``1.0 + 0.0``; the next candidate ``{x, y}`` scores ``0.5 + 0.5`` --
+        an exact tie -- so the refinement must return ``{x}``.
+        """
+        x = item("r.a.S", "alpha")
+        y = item("r.b.S", "beta")
+        members = [
+            make_transaction("m1", [x, x]),
+            make_transaction("m2", [y, y]),
+        ]
+        engine = SimilarityEngine(SimilarityConfig(f=1.0, gamma=0.9))
+        ranked = [RankedItem(item=x, rank=2.0), RankedItem(item=y, rank=1.0)]
+        chain = refinement_candidates(ranked, 2)
+        scores = engine.score_candidates(
+            members, [make_transaction("rep", c) for c in chain]
+        )
+        assert scores == [1.0, 1.0]  # the tie this test is about
+        rep = generate_tree_tuple(ranked, members, engine)
+        assert [(str(i.path), i.answer) for i in rep.items] == [("r.a.S", "alpha")]
+
+    def test_zero_scoring_candidates_never_replace_the_empty_incumbent(self):
+        """Companion to the tie fix: the incumbent starts as the empty
+        representative at score 0.0, so a candidate chain whose scores are
+        all zero yields an empty representative instead of an arbitrary
+        zero-cohesion one."""
+        x = item("r.a.S", "alpha")
+        members = [make_transaction("m", [item("z.q.S", "far", {9: 1.0})])]
+        engine = SimilarityEngine(SimilarityConfig(f=1.0, gamma=1.0))
+        rep = generate_tree_tuple([RankedItem(item=x, rank=1.0)], members, engine)
+        assert rep.is_empty()
+
+    def test_refinement_chain_is_score_independent_and_prefix_nested(self, hybrid_engine):
+        """The candidate chain consumes equal-rank batches cumulatively, so
+        each candidate's path set contains the previous one's."""
+        pool = [item(f"r.p{i}.S", f"v{i}", {i: 1.0}) for i in range(4)]
+        ranked = rank_items(pool, hybrid_engine)
+        chain = refinement_candidates(ranked, 4)
+        assert chain
+        previous_paths = set()
+        for candidate in chain:
+            paths = {i.path for i in candidate}
+            assert previous_paths <= paths
+            previous_paths = paths
+        assert len(chain[-1]) <= 4
 
 
 class TestLocalRepresentative:

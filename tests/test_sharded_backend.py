@@ -1,0 +1,290 @@
+"""Parity, determinism and lifecycle tests for the ``sharded`` backend.
+
+The sharded backend splits ``assign_all`` row blocks across worker
+processes (each holding a cached per-process engine, see
+``repro/network/mpengine.py``) and concatenates the per-block results in
+block order.  Because every shard is evaluated by a bit-exact inner
+backend, the sharded assignment -- and any clustering run on top of it --
+must be *identical* to the serial ``python`` reference for every worker
+count; these tests assert exactly that, plus deterministic repeat runs,
+option parsing, executor cleanup and per-process engine-cache isolation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import ClusteringConfig
+from repro.core.cxkmeans import CXKMeans
+from repro.core.seeding import select_seed_transactions
+from repro.core.xkmeans import XKMeans
+from repro.datasets.registry import get_dataset
+from repro.network.mpengine import (
+    _PROCESS_ENGINES,
+    clear_process_engines,
+    process_engine,
+)
+from repro.similarity.backend import (
+    ShardedBackend,
+    available_backends,
+    create_backend,
+    registered_backends,
+)
+from repro.similarity.cache import TagPathSimilarityCache
+from repro.similarity.item import SimilarityConfig
+from repro.similarity.transaction import SimilarityEngine
+
+
+@pytest.fixture(autouse=True)
+def isolated_process_engines():
+    """Each test starts and ends with an empty per-process engine cache, so
+    engines (and their compiled corpora) never leak between tests."""
+    clear_process_engines()
+    yield
+    clear_process_engines()
+
+
+@pytest.fixture(scope="module")
+def dblp_small():
+    return get_dataset("DBLP", scale=0.2, seed=0)
+
+
+def make_engine(backend: str) -> SimilarityEngine:
+    return SimilarityEngine(
+        SimilarityConfig(f=0.5, gamma=0.8),
+        cache=TagPathSimilarityCache(),
+        backend=backend,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Registry and option parsing
+# --------------------------------------------------------------------------- #
+class TestRegistration:
+    def test_sharded_backend_is_registered_and_available(self):
+        assert "sharded" in registered_backends()
+        assert "sharded" in available_backends()
+
+    def test_option_spec_selects_workers_and_inner_backend(self):
+        engine = make_engine("python")
+        backend = create_backend("sharded:3:python", engine)
+        assert isinstance(backend, ShardedBackend)
+        assert backend.workers == 3
+        assert backend.inner_name == "python"
+
+    def test_default_inner_backend_is_numpy_when_available(self):
+        pytest.importorskip("numpy")
+        backend = create_backend("sharded:2", make_engine("python"))
+        assert backend.inner_name == "numpy"
+
+    @pytest.mark.parametrize(
+        "spec", ["sharded:0", "sharded:-1", "sharded:two", "sharded:2:sharded", "sharded:1:2:3"]
+    )
+    def test_invalid_option_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            create_backend(spec, make_engine("python"))
+
+    def test_optionless_backends_reject_options(self):
+        with pytest.raises(ValueError, match="accepts no options"):
+            create_backend("python:2", make_engine("python"))
+
+
+# --------------------------------------------------------------------------- #
+# Assignment parity and determinism
+# --------------------------------------------------------------------------- #
+class TestAssignmentParity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_assign_all_matches_python_reference(self, dblp_small, workers):
+        transactions = dblp_small.transactions
+        representatives = select_seed_transactions(transactions, 4, random.Random(0))
+        expected = make_engine("python").assign_all(transactions, representatives)
+        engine = make_engine(f"sharded:{workers}")
+        try:
+            assert engine.assign_all(transactions, representatives) == expected
+        finally:
+            engine.backend.close()
+
+    def test_assign_all_is_deterministic_across_repeat_calls(self, dblp_small):
+        transactions = dblp_small.transactions
+        representatives = select_seed_transactions(transactions, 5, random.Random(1))
+        engine = make_engine("sharded:2")
+        try:
+            first = engine.assign_all(transactions, representatives)
+            second = engine.assign_all(transactions, representatives)
+        finally:
+            engine.backend.close()
+        assert first == second
+
+    def test_python_inner_backend_parity(self, dblp_small):
+        """Sharding over the reference inner backend changes nothing either."""
+        transactions = dblp_small.transactions
+        representatives = select_seed_transactions(transactions, 3, random.Random(2))
+        expected = make_engine("python").assign_all(transactions, representatives)
+        engine = make_engine("sharded:2:python")
+        try:
+            assert engine.assign_all(transactions, representatives) == expected
+        finally:
+            engine.backend.close()
+
+    def test_no_representatives(self, dblp_small):
+        engine = make_engine("sharded:2")
+        transactions = dblp_small.transactions[:10]
+        assert engine.assign_all(transactions, []) == [(-1, 0.0)] * 10
+        assert engine.backend._executor is None  # nothing was dispatched
+
+    def test_small_row_counts_stay_in_process(self, dblp_small):
+        """Below MIN_SHARD_ROWS the inner backend answers directly; no pool
+        is ever created."""
+        transactions = dblp_small.transactions[: ShardedBackend.MIN_SHARD_ROWS - 1]
+        representatives = transactions[:2]
+        engine = make_engine("sharded:2")
+        expected = make_engine("python").assign_all(transactions, representatives)
+        assert engine.assign_all(transactions, representatives) == expected
+        assert engine.backend._executor is None
+
+    def test_row_blocks_cover_rows_in_order(self, dblp_small):
+        backend = create_backend("sharded:4", make_engine("python"))
+        transactions = list(dblp_small.transactions)
+        blocks = backend._row_blocks(transactions)
+        assert len(blocks) <= 4
+        assert all(blocks)
+        flattened = [transaction for block in blocks for transaction in block]
+        assert flattened == transactions
+
+
+# --------------------------------------------------------------------------- #
+# Full-fit parity per seed
+# --------------------------------------------------------------------------- #
+class TestFitParity:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_cxkmeans_fit_matches_python_per_seed(self, dblp_small, workers):
+        partitions = [dblp_small.transactions[0::2], dblp_small.transactions[1::2]]
+        results = {}
+        for backend in ("python", f"sharded:{workers}"):
+            config = ClusteringConfig(
+                k=3,
+                similarity=SimilarityConfig(f=0.5, gamma=0.8),
+                seed=3,
+                max_iterations=4,
+                backend=backend,
+            )
+            algorithm = CXKMeans(config)
+            results[backend] = algorithm.fit(partitions)
+            backend_object = algorithm.engine._backend
+            if hasattr(backend_object, "close"):
+                backend_object.close()
+        sharded = results[f"sharded:{workers}"]
+        assert sharded.partition() == results["python"].partition()
+        representatives = [
+            sorted((str(i.path), i.answer) for i in rep.items)
+            for rep in sharded.representatives()
+        ]
+        expected = [
+            sorted((str(i.path), i.answer) for i in rep.items)
+            for rep in results["python"].representatives()
+        ]
+        assert representatives == expected
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_three_way_full_fit_parity(self, dblp_small, seed):
+        """The acceptance bar: identical clusterings *and* representatives
+        across python, numpy and sharded for the same seed."""
+        partitions = [dblp_small.transactions[0::3], dblp_small.transactions[1::3], dblp_small.transactions[2::3]]
+        results = {}
+        for backend in ("python", "numpy", "sharded:2"):
+            config = ClusteringConfig(
+                k=3,
+                similarity=SimilarityConfig(f=0.5, gamma=0.8),
+                seed=seed,
+                max_iterations=3,
+                backend=backend,
+            )
+            algorithm = CXKMeans(config)
+            result = algorithm.fit(partitions)
+            backend_object = algorithm.engine._backend
+            if hasattr(backend_object, "close"):
+                backend_object.close()
+            results[backend] = (
+                result.partition(),
+                [
+                    sorted((str(i.path), i.answer) for i in rep.items)
+                    for rep in result.representatives()
+                ],
+            )
+        assert results["numpy"] == results["python"]
+        assert results["sharded:2"] == results["python"]
+
+    def test_xkmeans_fit_matches_python(self, dblp_small):
+        results = {}
+        for backend in ("python", "sharded:2"):
+            config = ClusteringConfig(
+                k=4,
+                similarity=SimilarityConfig(f=0.5, gamma=0.8),
+                seed=7,
+                max_iterations=4,
+                backend=backend,
+            )
+            algorithm = XKMeans(config)
+            results[backend] = algorithm.fit(dblp_small.transactions)
+            backend_object = algorithm.engine._backend
+            if hasattr(backend_object, "close"):
+                backend_object.close()
+        assert results["sharded:2"].partition() == results["python"].partition()
+        assert results["sharded:2"].iterations == results["python"].iterations
+
+
+# --------------------------------------------------------------------------- #
+# Executor lifecycle
+# --------------------------------------------------------------------------- #
+class TestExecutorLifecycle:
+    def test_close_releases_the_pool_and_is_idempotent(self, dblp_small):
+        engine = make_engine("sharded:2")
+        transactions = dblp_small.transactions
+        representatives = transactions[:3]
+        engine.assign_all(transactions, representatives)
+        assert engine.backend._executor is not None
+        engine.backend.close()
+        assert engine.backend._executor is None
+        engine.backend.close()  # idempotent
+
+    def test_backend_recovers_after_close(self, dblp_small):
+        engine = make_engine("sharded:2")
+        transactions = dblp_small.transactions
+        representatives = transactions[:3]
+        before = engine.assign_all(transactions, representatives)
+        engine.backend.close()
+        after = engine.assign_all(transactions, representatives)
+        engine.backend.close()
+        assert after == before
+
+    def test_context_manager_closes_on_exit(self, dblp_small):
+        engine = make_engine("python")
+        with create_backend("sharded:2", engine) as backend:
+            backend.assign_all(dblp_small.transactions, dblp_small.transactions[:2])
+            assert backend._executor is not None
+        assert backend._executor is None
+
+
+# --------------------------------------------------------------------------- #
+# Per-process engine cache isolation
+# --------------------------------------------------------------------------- #
+class TestProcessEngineIsolation:
+    def test_process_engine_is_cached_per_config_and_backend(self):
+        config = SimilarityConfig(f=0.5, gamma=0.8)
+        first = process_engine(config, "python")
+        assert process_engine(config, "python") is first
+        assert process_engine(config, "numpy") is not first
+        assert len(_PROCESS_ENGINES) == 2
+
+    def test_clear_process_engines_empties_the_cache(self):
+        process_engine(SimilarityConfig(f=0.5, gamma=0.8), "python")
+        assert _PROCESS_ENGINES
+        clear_process_engines()
+        assert not _PROCESS_ENGINES
+
+    def test_autouse_isolation_fixture_left_no_engines_behind(self):
+        """Guards the autouse fixture: earlier tests must not leak cached
+        engines into this one."""
+        assert not _PROCESS_ENGINES

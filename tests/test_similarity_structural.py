@@ -139,3 +139,41 @@ class TestTagPathCache:
         cache.similarity(XMLPath.parse("a.b"), XMLPath.parse("a.b"))
         cache.clear()
         assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+
+class TestCacheOrderIndependence:
+    """Regression tests: cached similarities are pure functions of the pair.
+
+    ``tag_path_similarity`` sums its two directed passes in argument order,
+    so swapping operands can change the float by one ULP; the cache must
+    therefore evaluate in canonical key order, or the value returned for a
+    pair would depend on which direction -- and which query history --
+    filled it first.  Found by the representative-backend parity harness.
+    """
+
+    def test_similarity_is_independent_of_query_order(self):
+        short = XMLPath.parse("c")
+        long_a = XMLPath.parse("c.a.c")
+        long_b = XMLPath.parse("c.b.c")
+        # history 1: short path queried first
+        first = TagPathSimilarityCache()
+        value_fwd = first.similarity(short, long_a)
+        # history 2: long path queried first
+        second = TagPathSimilarityCache()
+        value_rev = second.similarity(long_a, short)
+        assert value_fwd == value_rev  # exact, not approximate
+        # mathematically identical pairs stay exactly equal regardless of
+        # the direction each one was first computed in
+        mixed = TagPathSimilarityCache()
+        assert mixed.similarity(short, long_a) == mixed.similarity(long_b, short)
+
+    def test_precompute_matches_lazy_fill_exactly(self):
+        paths = [XMLPath.parse(p) for p in ("c", "c.a.c", "c.b.c", "d")]
+        eager = TagPathSimilarityCache()
+        eager.precompute(paths)
+        lazy = TagPathSimilarityCache()
+        for path_b in reversed(paths):
+            for path_a in paths:
+                assert lazy.similarity(path_b, path_a) == eager.similarity(
+                    path_a, path_b
+                )
