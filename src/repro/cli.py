@@ -51,6 +51,14 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the sharded backend "
         "(only with --backend sharded; default: one per CPU)",
     )
+    parser.add_argument(
+        "--refine-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for cluster-sharded representative "
+        "refinement (one cluster per worker; default: serial refinement)",
+    )
 
 
 def _resolve_backend(args: argparse.Namespace) -> str:
@@ -66,6 +74,16 @@ def _resolve_backend(args: argparse.Namespace) -> str:
             )
         backend = f"sharded:{shard_workers}"
     return backend
+
+
+def _resolve_refine_workers(args: argparse.Namespace) -> Optional[int]:
+    """Validate and return the ``--refine-workers`` value (None = serial)."""
+    refine_workers = getattr(args, "refine_workers", None)
+    if refine_workers is not None and refine_workers < 1:
+        raise SystemExit(
+            f"--refine-workers must be positive, got {refine_workers}"
+        )
+    return refine_workers
 
 
 def _add_common_experiment_arguments(parser: argparse.ArgumentParser) -> None:
@@ -146,6 +164,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_iterations=args.max_iterations,
         backend=backend,
+        refine_workers=_resolve_refine_workers(args),
     )
     algorithm = make_algorithm(args.algorithm, config)
     # populate the tag-path cache (and compile the backend corpus) up front,
@@ -187,6 +206,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         seeds=(args.seed,),
         max_iterations=args.max_iterations,
         backend=_resolve_backend(args),
+        refine_workers=_resolve_refine_workers(args),
     )
     print(run_figure7(config).report())
     return 0
@@ -200,6 +220,7 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
         seeds=(args.seed,),
         max_iterations=args.max_iterations,
         backend=_resolve_backend(args),
+        refine_workers=_resolve_refine_workers(args),
     )
     print(run_figure8(config).report())
     return 0
@@ -214,6 +235,7 @@ def _cmd_table(args: argparse.Namespace, table_number: int) -> int:
         max_iterations=args.max_iterations,
         goals=tuple(args.goals),
         backend=_resolve_backend(args),
+        refine_workers=_resolve_refine_workers(args),
     )
     if table_number == 1:
         result = run_table1(config)

@@ -38,6 +38,18 @@ class ClusteringConfig:
         ``"sharded[:workers[:inner]]"`` for the multiprocessing backend
         sharding ``assign_all`` row blocks across worker processes; see
         :mod:`repro.similarity.backend`).
+    refine_workers:
+        Worker processes for cluster-sharded representative refinement:
+        each local (or global) phase dispatches one cluster's refinement
+        per worker through
+        :func:`~repro.network.mpengine.refine_clusters`, merging the
+        results in deterministic cluster-index order with bit-exact parity
+        against the serial path.  ``None`` or ``1`` keeps the historical
+        serial refinement.  Refinement parallelism applies when the local
+        phases run serially in the driving process (the default peer
+        executor); phases dispatched into worker processes are daemonic
+        and cannot nest pools, so their budget resolves to 1
+        (:func:`~repro.network.mpengine.phase_refinement_config`).
     """
 
     k: int
@@ -46,6 +58,7 @@ class ClusteringConfig:
     seed: int = 0
     max_representative_items: Optional[int] = None
     backend: str = "python"
+    refine_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -53,6 +66,10 @@ class ClusteringConfig:
         if self.max_iterations < 1:
             raise ValueError(
                 f"max_iterations must be positive, got {self.max_iterations}"
+            )
+        if self.refine_workers is not None and self.refine_workers < 1:
+            raise ValueError(
+                f"refine_workers must be positive, got {self.refine_workers}"
             )
 
     @property
@@ -64,6 +81,11 @@ class ClusteringConfig:
     def gamma(self) -> float:
         """Shortcut for the gamma matching threshold."""
         return self.similarity.gamma
+
+    @property
+    def effective_refine_workers(self) -> int:
+        """The refinement worker count with ``None`` resolved to serial (1)."""
+        return self.refine_workers or 1
 
     def with_k(self, k: int) -> "ClusteringConfig":
         """Return a copy of the configuration with a different ``k``."""
@@ -80,3 +102,7 @@ class ClusteringConfig:
     def with_backend(self, backend: str) -> "ClusteringConfig":
         """Return a copy with a different similarity backend."""
         return replace(self, backend=backend)
+
+    def with_refine_workers(self, refine_workers: Optional[int]) -> "ClusteringConfig":
+        """Return a copy with a different refinement worker budget."""
+        return replace(self, refine_workers=refine_workers)

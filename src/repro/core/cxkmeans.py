@@ -31,16 +31,19 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ClusteringConfig
-from repro.core.representatives import (
-    compute_global_representative,
-    compute_local_representative,
-    representatives_equal,
-)
+from repro.core.representatives import representatives_equal
 from repro.core.results import ClusteringResult, build_result
 from repro.core.seeding import partition_cluster_ids, select_seed_transactions
 from repro.network.costmodel import CostModel
 from repro.network.message import Message, MessageKind, representative_payload
-from repro.network.mpengine import SerialExecutor, process_engine
+from repro.network.mpengine import (
+    RefinementShard,
+    SerialExecutor,
+    inprocess_backend_name,
+    phase_refinement_config,
+    process_engine,
+    refine_clusters,
+)
 from repro.network.peer import make_peers
 from repro.network.simnet import SimulatedNetwork
 from repro.similarity.cache import TagPathSimilarityCache
@@ -107,6 +110,12 @@ def run_local_phase(
     *engine* is passed (multiprocessing workers) the per-process engine for
     the phase's configuration is used, so a worker keeps its tag-path cache
     and compiled backend corpus across collaborative rounds.
+
+    When the configuration grants more than one refinement worker
+    (``refine_workers``), the per-cluster representative refinement -- the
+    phase's serial tail -- is sharded one cluster per worker process
+    through :func:`~repro.network.mpengine.refine_clusters`; results are
+    merged in cluster-index order and are bit-exact with the serial path.
     """
     start = time.perf_counter()
     config = phase_input.config
@@ -134,18 +143,26 @@ def run_local_phase(
         if previous_assignment == assignment:
             break
 
-    local_representatives: List[Transaction] = []
-    cluster_sizes: List[int] = []
-    for cluster_index, members in enumerate(clusters):
-        cluster_sizes.append(len(members))
-        local_representatives.append(
-            compute_local_representative(
-                members,
-                local_engine,
-                representative_id=f"rep:local:{phase_input.peer_id}:{cluster_index}",
-                max_items=config.max_representative_items,
-            )
+    # Representative refinement: one shard per cluster, dispatched across
+    # refinement workers when the configuration grants more than one
+    # (cluster-sharded refinement; serial and sharded results are
+    # bit-exact, merged in cluster-index order by refine_clusters).
+    cluster_sizes = [len(members) for members in clusters]
+    shards = [
+        RefinementShard(
+            cluster_index=cluster_index,
+            members=members,
+            similarity=config.similarity,
+            backend=inprocess_backend_name(local_engine),
+            representative_id=f"rep:local:{phase_input.peer_id}:{cluster_index}",
+            max_items=config.max_representative_items,
         )
+        for cluster_index, members in enumerate(clusters)
+    ]
+    refined = refine_clusters(
+        shards, local_engine, workers=config.effective_refine_workers
+    )
+    local_representatives = [refined[cluster_index] for cluster_index in range(k)]
 
     return LocalPhaseOutput(
         peer_id=phase_input.peer_id,
@@ -279,6 +296,11 @@ class CXKMeans:
 
         # --- N0 startup: partition cluster ids, create peers and network --- #
         use_shared_engine = isinstance(self.executor, SerialExecutor)
+        # Two-level parallelism budget: concurrent local phases share the
+        # refinement workers equally (the global phase below runs peers
+        # sequentially, so it keeps the full budget).
+        refine_budget = self.config.effective_refine_workers
+        phase_config = phase_refinement_config(self.config, self.executor, m)
         responsibilities = partition_cluster_ids(k, m)
         peers = make_peers(
             partitions,
@@ -342,7 +364,7 @@ class CXKMeans:
                     peer_id=peer.peer_id,
                     transactions=peer.transactions,
                     global_representatives=ordered_representatives,
-                    config=self.config,
+                    config=phase_config,
                 )
                 for peer in peers
             ]
@@ -405,10 +427,22 @@ class CXKMeans:
                 break
 
             # -- global representative computation (by responsible peers) ------ #
+            # Each responsible peer refines the clusters it owns; with a
+            # refinement budget > 1 the per-cluster merges are sharded one
+            # cluster per worker (the global-phase equivalent of the
+            # run_local_phase sharding), merged in cluster-index order.
             for peer in peers:
                 if not peer.responsibilities:
                     continue
                 with network.measure_compute(peer.peer_id):
+                    peer_engine = (
+                        self._engine
+                        if use_shared_engine
+                        else SimilarityEngine(
+                            self.config.similarity, backend=self.config.backend
+                        )
+                    )
+                    shards = []
                     for cluster_id in peer.responsibilities:
                         weighted = [
                             (latest_local[i][cluster_id], latest_sizes[i][cluster_id])
@@ -420,13 +454,20 @@ class CXKMeans:
                             # current global representative so the cluster can
                             # still attract transactions later
                             continue
-                        global_representatives[cluster_id] = compute_global_representative(
-                            weighted,
-                            self._engine if use_shared_engine else SimilarityEngine(
-                                self.config.similarity, backend=self.config.backend
-                            ),
-                            representative_id=f"rep:global:{cluster_id}",
-                            max_items=self.config.max_representative_items,
+                        shards.append(
+                            RefinementShard(
+                                cluster_index=cluster_id,
+                                members=[rep for rep, _ in weighted],
+                                weights=[weight for _, weight in weighted],
+                                similarity=self.config.similarity,
+                                backend=inprocess_backend_name(peer_engine),
+                                representative_id=f"rep:global:{cluster_id}",
+                                max_items=self.config.max_representative_items,
+                            )
+                        )
+                    if shards:
+                        global_representatives.update(
+                            refine_clusters(shards, peer_engine, workers=refine_budget)
                         )
             network.end_round()
 

@@ -33,12 +33,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ClusteringConfig
 from repro.core.cxkmeans import LocalPhaseInput, LocalPhaseOutput, run_local_phase
-from repro.core.representatives import compute_global_representative
 from repro.core.results import ClusteringResult, build_result
 from repro.core.seeding import partition_cluster_ids, select_seed_transactions
 from repro.network.costmodel import CostModel
 from repro.network.message import Message, MessageKind, representative_payload
-from repro.network.mpengine import SerialExecutor
+from repro.network.mpengine import (
+    RefinementShard,
+    SerialExecutor,
+    inprocess_backend_name,
+    phase_refinement_config,
+    refine_clusters,
+)
 from repro.network.peer import make_peers
 from repro.network.simnet import SimulatedNetwork
 from repro.similarity.cache import TagPathSimilarityCache
@@ -111,6 +116,10 @@ class PKMeans:
         # PK-means has no notion of per-cluster responsibility; peers are
         # created with empty responsibility lists.
         use_shared_engine = isinstance(self.executor, SerialExecutor)
+        # refinement budget split across concurrently running local phases
+        # (same two-level peers x clusters scheme as CXK-means)
+        refine_budget = self.config.effective_refine_workers
+        phase_config = phase_refinement_config(self.config, self.executor, m)
         peers = make_peers(
             partitions,
             [[] for _ in range(m)],
@@ -172,7 +181,7 @@ class PKMeans:
                     peer_id=peer.peer_id,
                     transactions=peer.transactions,
                     global_representatives=ordered_representatives,
-                    config=self.config,
+                    config=phase_config,
                 )
                 for peer in peers
             ]
@@ -208,7 +217,15 @@ class PKMeans:
             new_representatives: Dict[int, Transaction] = {}
             for peer in peers:
                 with network.measure_compute(peer.peer_id):
+                    peer_engine = (
+                        self._engine
+                        if use_shared_engine
+                        else SimilarityEngine(
+                            self.config.similarity, backend=self.config.backend
+                        )
+                    )
                     computed: Dict[int, Transaction] = {}
+                    shards = []
                     for cluster_id in range(k):
                         weighted = [
                             (
@@ -220,14 +237,22 @@ class PKMeans:
                         if not any(weight for _, weight in weighted):
                             computed[cluster_id] = global_representatives[cluster_id]
                             continue
-                        computed[cluster_id] = compute_global_representative(
-                            weighted,
-                            self._engine if use_shared_engine else SimilarityEngine(
-                                self.config.similarity, backend=self.config.backend
-                            ),
-                            representative_id=f"rep:global:{cluster_id}",
-                            max_items=self.config.max_representative_items,
+                        shards.append(
+                            RefinementShard(
+                                cluster_index=cluster_id,
+                                members=[rep for rep, _ in weighted],
+                                weights=[weight for _, weight in weighted],
+                                similarity=self.config.similarity,
+                                backend=inprocess_backend_name(peer_engine),
+                                representative_id=f"rep:global:{cluster_id}",
+                                max_items=self.config.max_representative_items,
+                            )
                         )
+                    # the global-phase equivalent of the cluster-sharded
+                    # refinement: one cluster merge per worker
+                    computed.update(
+                        refine_clusters(shards, peer_engine, workers=refine_budget)
+                    )
                 if not new_representatives:
                     new_representatives = computed
             global_representatives = new_representatives

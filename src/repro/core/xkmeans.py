@@ -14,12 +14,14 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import ClusteringConfig
-from repro.core.representatives import (
-    compute_local_representative,
-    representatives_equal,
-)
+from repro.core.representatives import representatives_equal
 from repro.core.results import ClusteringResult, build_result
 from repro.core.seeding import select_seed_transactions
+from repro.network.mpengine import (
+    RefinementShard,
+    inprocess_backend_name,
+    refine_clusters,
+)
 from repro.similarity.cache import TagPathSimilarityCache
 from repro.similarity.transaction import SimilarityEngine
 from repro.transactions.transaction import Transaction
@@ -121,21 +123,29 @@ class XKMeans:
             clusters, _ = self._clusters_from_assignment(
                 transactions, new_assignment, k
             )
-            new_representatives = []
-            for index, members in enumerate(clusters):
-                if members:
-                    new_representatives.append(
-                        compute_local_representative(
-                            members,
-                            self.engine,
-                            representative_id=f"rep:{index}",
-                            max_items=self.config.max_representative_items,
-                        )
-                    )
-                else:
-                    # keep the previous representative for empty clusters so
-                    # they may re-acquire transactions in later iterations
-                    new_representatives.append(representatives[index])
+            # refinement: one shard per non-empty cluster, dispatched across
+            # refinement workers when the configuration grants them (the
+            # same cluster-sharded path used by the distributed algorithms)
+            shards = [
+                RefinementShard(
+                    cluster_index=index,
+                    members=members,
+                    similarity=self.config.similarity,
+                    backend=inprocess_backend_name(self.engine),
+                    representative_id=f"rep:{index}",
+                    max_items=self.config.max_representative_items,
+                )
+                for index, members in enumerate(clusters)
+                if members
+            ]
+            refined = refine_clusters(
+                shards, self.engine, workers=self.config.effective_refine_workers
+            )
+            # empty clusters keep the previous representative so they may
+            # re-acquire transactions in later iterations
+            new_representatives = [
+                refined.get(index, representatives[index]) for index in range(k)
+            ]
 
             stable_assignment = new_assignment == assignment
             stable_representatives = all(

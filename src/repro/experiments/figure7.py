@@ -41,6 +41,9 @@ class Figure7Config:
     #: Similarity backend spec driving the clustering hot path
     #: (``"python"``, ``"numpy"`` or ``"sharded[:workers[:inner]]"``).
     backend: str = "python"
+    #: Worker processes for cluster-sharded representative refinement
+    #: (``None`` keeps the serial refinement path).
+    refine_workers: Optional[int] = None
 
 
 @dataclass
@@ -95,6 +98,7 @@ def run_figure7(config: Optional[Figure7Config] = None) -> Figure7Result:
                 max_iterations=config.max_iterations,
                 cost_model=config.cost_model,
                 backend=config.backend,
+                refine_workers=config.refine_workers,
             )
             aggregates = sweep.run()
             runtime = pivot(aggregates, value="simulated_seconds")

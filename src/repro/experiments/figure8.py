@@ -36,6 +36,9 @@ class Figure8Config:
     #: Similarity backend spec driving the clustering hot path
     #: (``"python"``, ``"numpy"`` or ``"sharded[:workers[:inner]]"``).
     backend: str = "python"
+    #: Worker processes for cluster-sharded representative refinement
+    #: (``None`` keeps the serial refinement path).
+    refine_workers: Optional[int] = None
 
 
 @dataclass
@@ -112,6 +115,7 @@ def run_figure8(config: Optional[Figure8Config] = None) -> Figure8Result:
             max_iterations=config.max_iterations,
             cost_model=config.cost_model,
             backend=config.backend,
+            refine_workers=config.refine_workers,
         )
         aggregates = sweep.run()
         for dataset, series in pivot(aggregates, value="simulated_seconds").items():

@@ -145,6 +145,7 @@ def run_configuration(
     max_iterations: int = 8,
     cost_model: Optional[CostModel] = None,
     backend: str = "python",
+    refine_workers: Optional[int] = None,
 ) -> RunRecord:
     """Run one clustering configuration and score it against the ground truth."""
     labeling = GOAL_LABELING[goal]
@@ -157,6 +158,7 @@ def run_configuration(
         seed=seed,
         max_iterations=max_iterations,
         backend=backend,
+        refine_workers=refine_workers,
     )
     algo = make_algorithm(algorithm, config, cost_model=cost_model)
     try:
@@ -249,6 +251,9 @@ class ExperimentSweep:
     #: Similarity backend spec driving the clustering hot path
     #: (``"python"``, ``"numpy"`` or ``"sharded[:workers[:inner]]"``).
     backend: str = "python"
+    #: Worker processes for cluster-sharded representative refinement
+    #: (``None`` keeps the serial refinement path).
+    refine_workers: Optional[int] = None
 
     def effective_f_values(self) -> List[float]:
         if self.f_values is not None:
@@ -280,6 +285,7 @@ class ExperimentSweep:
                                 max_iterations=self.max_iterations,
                                 cost_model=self.cost_model,
                                 backend=self.backend,
+                                refine_workers=self.refine_workers,
                             )
                         )
                 aggregates.append(aggregate_records(records))

@@ -53,6 +53,9 @@ class AccuracyTableConfig:
     #: Similarity backend spec driving the clustering hot path
     #: (``"python"``, ``"numpy"`` or ``"sharded[:workers[:inner]]"``).
     backend: str = "python"
+    #: Worker processes for cluster-sharded representative refinement
+    #: (``None`` keeps the serial refinement path).
+    refine_workers: Optional[int] = None
 
 
 @dataclass
@@ -112,6 +115,7 @@ def run_accuracy_table(config: Optional[AccuracyTableConfig] = None) -> Accuracy
             max_iterations=config.max_iterations,
             cost_model=config.cost_model,
             backend=config.backend,
+            refine_workers=config.refine_workers,
         )
         aggregates = sweep.run()
         tables[goal] = pivot(aggregates, value="f_measure")

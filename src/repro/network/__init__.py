@@ -3,9 +3,20 @@
 from repro.network.costmodel import CostModel, saturation_point, speedup_curve
 from repro.network.message import Message, MessageKind, representative_payload
 from repro.network.mpengine import (
+    AssignmentShard,
     MultiprocessingExecutor,
+    RefinementShard,
     SerialExecutor,
+    assign_shard,
+    clear_process_engines,
+    clear_shard_executors,
     make_executor,
+    phase_refinement_config,
+    process_engine,
+    refine_clusters,
+    refine_shard,
+    shard_executor,
+    split_refinement_budget,
 )
 from repro.network.peer import Peer, make_peers
 from repro.network.simnet import SimulatedNetwork
@@ -26,4 +37,15 @@ __all__ = [
     "SerialExecutor",
     "MultiprocessingExecutor",
     "make_executor",
+    "AssignmentShard",
+    "assign_shard",
+    "RefinementShard",
+    "refine_shard",
+    "refine_clusters",
+    "shard_executor",
+    "clear_shard_executors",
+    "split_refinement_budget",
+    "phase_refinement_config",
+    "process_engine",
+    "clear_process_engines",
 ]

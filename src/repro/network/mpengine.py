@@ -20,10 +20,31 @@ cheaply, so worker processes materialise one engine per (similarity
 configuration, backend) pair and keep it alive across rounds.  On the serial
 path the algorithms pass their own shared engine instead, so every simulated
 node works against one compiled corpus.
+
+Two shard types dispatch work onto those per-process engines:
+
+* :class:`AssignmentShard` / :func:`assign_shard` -- one contiguous row
+  block of a sharded ``assign_all`` call (used by the ``sharded``
+  similarity backend);
+* :class:`RefinementShard` / :func:`refine_shard` -- one cluster's
+  representative refinement (``ComputeLocalRepresentative`` or its
+  global-phase equivalent), dispatched one cluster per worker by
+  :func:`refine_clusters` so ``run_local_phase`` no longer refines its k
+  representatives serially on one core.
+
+Both shard dispatchers draw their pools from one process-wide executor
+registry (:func:`shard_executor`, cached per worker count), so assignment
+and refinement shards dispatched with the same worker count land in the
+*same* pool -- a worker that assigned row blocks in one round reuses its
+cached engine (and compiled corpus) when it refines clusters in the next.
+All shard merges are deterministic (block order for assignment,
+cluster-index order for refinement) and every shard runs on a bit-exact
+backend, so sharded results are identical to serial ones.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
@@ -90,6 +111,264 @@ def assign_shard(shard: AssignmentShard) -> List[Tuple[int, float]]:
     return engine.assign_all(shard.transactions, shard.representatives)
 
 
+# --------------------------------------------------------------------------- #
+# Cluster-sharded representative refinement
+# --------------------------------------------------------------------------- #
+@dataclass
+class RefinementShard:
+    """One cluster's representative-refinement task.
+
+    Where :class:`AssignmentShard` splits the *rows* of an assignment step,
+    a refinement shard carries one whole cluster: the serial tail of
+    ``run_local_phase`` (refining k representatives one after another) is
+    parallelised one cluster per worker.  A shard is self-contained -- it
+    ships the cluster members, the similarity configuration and the name of
+    the in-process backend to evaluate with -- so a worker process can
+    refine it on its cached engine (:func:`process_engine`) without any
+    shared state.
+
+    Attributes
+    ----------
+    cluster_index:
+        Index of the cluster in the caller's representative list; results
+        are merged back in ascending cluster-index order, which makes the
+        sharded refinement deterministic.
+    members:
+        Local shard: the cluster's member transactions.  Global shard: the
+        local representatives received from the peers.
+    similarity:
+        The :class:`~repro.similarity.item.SimilarityConfig` of the run.
+    backend:
+        Name of the in-process backend the worker evaluates with (the
+        *inner* backend when the run uses the ``sharded`` assignment
+        backend -- workers never nest process pools).
+    representative_id:
+        Identifier given to the refined representative transaction.
+    max_items:
+        Optional cap on the representative size
+        (:attr:`~repro.core.config.ClusteringConfig.max_representative_items`).
+    weights:
+        ``None`` for a local shard (``ComputeLocalRepresentative``); for a
+        global shard the per-member weights ``|C^i_j|``, parallel to
+        *members* (``ComputeGlobalRepresentative``).
+    """
+
+    cluster_index: int
+    members: List[Transaction]
+    similarity: SimilarityConfig
+    backend: str
+    representative_id: str
+    max_items: Optional[int] = None
+    weights: Optional[List[int]] = None
+
+    @property
+    def kind(self) -> str:
+        """``"local"`` or ``"global"``, decided by the presence of weights."""
+        return "local" if self.weights is None else "global"
+
+
+def _refine_with_engine(shard: RefinementShard, engine: SimilarityEngine) -> Transaction:
+    """Refine one shard on *engine* (the single implementation both the
+    serial path and the worker entry point go through, so they cannot
+    drift apart)."""
+    # Imported lazily: repro.core.representatives sits above this module in
+    # the layer graph (repro.core.__init__ imports cxkmeans, which imports
+    # this module), so a top-level import would be circular.
+    from repro.core.representatives import (
+        compute_global_representative,
+        compute_local_representative,
+    )
+
+    if shard.weights is None:
+        return compute_local_representative(
+            shard.members,
+            engine,
+            representative_id=shard.representative_id,
+            max_items=shard.max_items,
+        )
+    return compute_global_representative(
+        list(zip(shard.members, shard.weights)),
+        engine,
+        representative_id=shard.representative_id,
+        max_items=shard.max_items,
+    )
+
+
+def refine_shard(shard: RefinementShard) -> Tuple[int, Transaction]:
+    """Worker entry point of the sharded refinement (module-level, picklable).
+
+    Refines one cluster on this process' cached engine
+    (:func:`process_engine`) -- the same cache :func:`assign_shard` uses,
+    and since both dispatchers share the executor registry
+    (:func:`shard_executor`), a worker alternating between assignment and
+    refinement shards of the same worker count really does keep one
+    compiled corpus per (similarity configuration, backend) pair.  Returns
+    ``(cluster_index, representative)`` so the caller can merge results in
+    cluster-index order regardless of completion order.
+    """
+    engine = process_engine(shard.similarity, shard.backend)
+    return shard.cluster_index, _refine_with_engine(shard, engine)
+
+
+#: Process-wide shard executors keyed by worker count, shared by every
+#: shard dispatcher (cluster refinement and the sharded assignment
+#: backend).  Spawning a pool costs hundreds of milliseconds, so pools are
+#: kept alive across collaborative rounds (and across fits in an
+#: experiment sweep) exactly like the per-process engines above.
+_SHARD_EXECUTORS: Dict[int, "MultiprocessingExecutor"] = {}
+
+
+def shard_executor(workers: int) -> "MultiprocessingExecutor":
+    """Return this process' shared shard executor for *workers*.
+
+    Refinement dispatch and the ``sharded`` assignment backend both draw
+    from this registry, so shards of either type dispatched with the same
+    worker count run in the same pool (and therefore on the same cached
+    per-process engines).
+    """
+    executor = _SHARD_EXECUTORS.get(workers)
+    if executor is None:
+        executor = MultiprocessingExecutor(processes=workers)
+        _SHARD_EXECUTORS[workers] = executor
+    return executor
+
+
+def clear_shard_executors() -> None:
+    """Close and drop every cached shard executor.
+
+    Called by tests and benchmarks between runs, and registered as an
+    ``atexit`` hook so long-lived CLI/library processes shut their cached
+    pools down cleanly instead of leaving ``Pool.__del__`` to fire during
+    interpreter teardown (which prints spurious tracebacks).  Closing is
+    safe at any time: a cached executor respawns its pool lazily on the
+    next dispatch.
+    """
+    for executor in _SHARD_EXECUTORS.values():
+        executor.close()
+    _SHARD_EXECUTORS.clear()
+
+
+atexit.register(clear_shard_executors)
+
+
+def inprocess_backend_name(engine: SimilarityEngine) -> str:
+    """Name of the backend a refinement worker should evaluate with.
+
+    Usually the engine's own backend name; when the engine runs the
+    ``sharded`` assignment backend, the sharded backend's in-process *inner*
+    backend is returned instead, so refinement workers never try to nest a
+    second level of process pools inside themselves.
+    """
+    return getattr(engine.backend, "inner_name", engine.backend_name)
+
+
+def refine_clusters(
+    shards: Sequence[RefinementShard],
+    engine: SimilarityEngine,
+    workers: int = 1,
+) -> Dict[int, Transaction]:
+    """Refine every shard, one cluster per worker when ``workers > 1``.
+
+    Returns ``{cluster_index: representative}``; the mapping is merged from
+    worker results in cluster-index order and is bit-exact with the serial
+    path: every shard is evaluated by the same
+    ``compute_{local,global}_representative`` code on a bit-exact backend,
+    and the refinement of a cluster depends only on the shard's own payload,
+    never on engine cache state.
+
+    Fallback behaviour (mirroring the sharded assignment backend):
+
+    * ``workers <= 1``, a single populated shard, or empty clusters are
+      refined in-process on the caller's *engine* (reusing its shared
+      compiled corpus) -- exactly the historical serial path;
+    * every dispatch failure -- an undispatchable environment (e.g. a
+      stdin-launched parent whose ``__main__`` spawn workers cannot
+      replay), a pool spawn failure (e.g. already inside a daemonic peer
+      worker), an unpicklable payload, or a worker crash -- degrades to
+      the same warm-engine in-process refinement: the strict
+      :meth:`MultiprocessingExecutor.dispatch` raises instead of running
+      shards on cold duplicate engines in this process.
+    """
+    shards = list(shards)
+    results: Dict[int, Transaction] = {}
+    populated: List[RefinementShard] = []
+    for shard in shards:
+        if shard.members:
+            populated.append(shard)
+        else:
+            # empty clusters yield empty representatives; never worth a
+            # round-trip to a worker process
+            results[shard.cluster_index] = _refine_with_engine(shard, engine)
+    if workers <= 1 or len(populated) <= 1:
+        for shard in populated:
+            results[shard.cluster_index] = _refine_with_engine(shard, engine)
+        return results
+    try:
+        # dispatch() raises on every failure (undispatchable environment,
+        # pool spawn failure, worker crash) instead of map()'s silent
+        # in-process fallback, which would rebuild cold duplicate engines
+        # in this process; the warm-engine path below is strictly better
+        mapped = shard_executor(workers).dispatch(refine_shard, populated)
+    except Exception:
+        mapped = [
+            (shard.cluster_index, _refine_with_engine(shard, engine))
+            for shard in populated
+        ]
+    results.update(mapped)
+    return results
+
+
+def split_refinement_budget(refine_workers: int, concurrent_phases: int) -> int:
+    """Split a refinement worker budget across concurrently running phases.
+
+    With two-level parallelism (peers x clusters) the peer executor runs up
+    to *concurrent_phases* local phases at once; handing every phase the
+    full budget would oversubscribe the machine ``peers x clusters``-fold.
+    Each phase therefore receives an equal share, never below one worker
+    (one worker means the phase refines serially, which is always safe).
+    """
+    if concurrent_phases <= 1:
+        return refine_workers
+    return max(1, refine_workers // concurrent_phases)
+
+
+def phase_refinement_config(config, executor, phases: int):
+    """Per-phase copy of *config* with the refinement budget resolved.
+
+    The single budget policy shared by CXK-means and PK-means:
+
+    * phases that run one after another in this process (the default
+      :class:`SerialExecutor` peer path, or a multiprocessing executor
+      whose dispatch pre-check fails so it degrades to serial) keep the
+      full ``refine_workers`` budget;
+    * phases that will really run inside pool workers
+      (:meth:`MultiprocessingExecutor.can_dispatch`) get a budget of 1:
+      pool workers are daemonic and **cannot create child pools**, so any
+      larger budget would only buy a doomed pool-spawn attempt per phase
+      per round before serial fallback;
+    * an unknown executor type (no ``can_dispatch``; e.g. a thread-based
+      executor that could genuinely overlap phases *and* allow child
+      pools) gets an equal share of the budget per concurrent phase
+      (:func:`split_refinement_budget`).
+
+    *config* is duck-typed (it must expose ``effective_refine_workers``
+    and ``with_refine_workers``) because the concrete
+    :class:`~repro.core.config.ClusteringConfig` lives above this module
+    in the layer graph.
+    """
+    budget = config.effective_refine_workers
+    can_dispatch = getattr(executor, "can_dispatch", None)
+    if can_dispatch is not None:
+        if can_dispatch():
+            return config.with_refine_workers(1)
+        return config.with_refine_workers(budget)
+    return config.with_refine_workers(
+        split_refinement_budget(
+            budget, min(getattr(executor, "workers", 1), phases)
+        )
+    )
+
+
 def _spawn_main_is_replayable() -> bool:
     """Return True when ``spawn`` workers can re-import the main module.
 
@@ -115,11 +394,16 @@ class SerialExecutor:
         """Apply *function* to every element of *arguments*, in order."""
         return [function(argument) for argument in arguments]
 
+    def can_dispatch(self) -> bool:
+        """Always False: the serial engine never reaches worker processes."""
+        return False
+
     def close(self) -> None:  # pragma: no cover - nothing to release
         """Release resources (no-op for the serial engine)."""
 
     @property
     def workers(self) -> int:
+        """Degree of parallelism (always 1 for the serial engine)."""
         return 1
 
 
@@ -146,6 +430,19 @@ class MultiprocessingExecutor:
             self._pool = multiprocessing.get_context("spawn").Pool(self._processes)
         return self._pool
 
+    def can_dispatch(self) -> bool:
+        """True when :meth:`map` can actually reach the worker pool.
+
+        Predicts the silent in-process fallback of :meth:`map` for the
+        conditions knowable up front (a single worker, or a ``spawn``
+        ``__main__`` that workers cannot replay -- stdin/REPL parents).
+        Callers with a better serial path than the executor's -- e.g.
+        :func:`refine_clusters`, whose caller holds a warm engine with a
+        compiled corpus -- check this first instead of letting work land
+        on a cold in-process duplicate engine.
+        """
+        return self._processes > 1 and _spawn_main_is_replayable()
+
     def map(self, function: Callable[[Any], Any], arguments: Sequence[Any]) -> List[Any]:
         """Apply *function* in parallel, falling back to serial on failure."""
         arguments = list(arguments)
@@ -162,12 +459,42 @@ class MultiprocessingExecutor:
         except Exception:
             return [function(argument) for argument in arguments]
         try:
-            pool = self._ensure_pool()
-            return pool.map(function, arguments, chunksize=self._chunksize)
+            return self.dispatch(function, arguments)
         except Exception:
             # Any pool-level failure (spawn issues in constrained sandboxes,
             # broken pipes, ...) degrades gracefully to serial execution.
             return [function(argument) for argument in arguments]
+
+    def dispatch(
+        self, function: Callable[[Any], Any], arguments: Sequence[Any]
+    ) -> List[Any]:
+        """Apply *function* on the worker pool or raise -- never fall back.
+
+        The strict sibling of :meth:`map`: callers that hold a *better*
+        serial path than running *function* in this process (e.g.
+        :func:`refine_clusters`, whose caller owns a warm engine with a
+        compiled corpus, while *function* would build cold
+        :func:`process_engine` duplicates in the parent) use this so every
+        failure -- undispatchable environment, pool spawn failure,
+        worker crash -- surfaces as an exception they can answer with
+        their own fallback.
+        """
+        arguments = list(arguments)
+        if not self.can_dispatch():
+            raise RuntimeError(
+                "executor cannot dispatch to worker processes in this "
+                "environment"
+            )
+        pool = self._ensure_pool()
+        try:
+            return pool.map(function, arguments, chunksize=self._chunksize)
+        except Exception:
+            # a pool whose map failed is not trustworthy any more (lost
+            # workers, broken pipes): close it before re-raising so the
+            # next dispatch on this cached executor respawns a fresh pool
+            # instead of reusing the broken one forever
+            self.close()
+            raise
 
     def close(self) -> None:
         """Terminate the worker pool."""
@@ -178,6 +505,7 @@ class MultiprocessingExecutor:
 
     @property
     def workers(self) -> int:
+        """Number of worker processes the pool runs with."""
         return self._processes
 
     def __enter__(self) -> "MultiprocessingExecutor":

@@ -82,6 +82,7 @@ except ImportError:  # pragma: no cover
     Protocol = object  # type: ignore[assignment]
 
     def runtime_checkable(cls):  # type: ignore[no-redef]
+        """Fallback no-op decorator for Pythons without typing.Protocol."""
         return cls
 
 from repro.similarity.content import content_similarity
@@ -224,25 +225,31 @@ class PythonBackend:
         self.engine = engine
 
     def item_similarity(self, item_a: TreeTupleItem, item_b: TreeTupleItem) -> float:
+        """Combined item similarity (Eq. 1), the scalar reference loop."""
         return self.engine.item_similarity(item_a, item_b)
 
     def gamma_shared_items(
         self, tr1: Transaction, tr2: Transaction
     ) -> Set[TreeTupleItem]:
+        """Gamma-shared item set ``match_gamma(tr1, tr2)`` (Eq. 2)."""
         return self.engine.gamma_shared_items(tr1, tr2)
 
     def transaction_similarity(self, tr1: Transaction, tr2: Transaction) -> float:
+        """Transaction similarity ``sim^gamma_J`` (Eq. 4), reference loop."""
         return self.engine.transaction_similarity(tr1, tr2)
 
     def pairwise_transaction_similarity(
         self, rows: Sequence[Transaction], columns: Sequence[Transaction]
     ) -> List[List[float]]:
+        """Similarity block as nested lists: one scalar call per pair."""
         similarity = self.engine.transaction_similarity
         return [[similarity(row, column) for column in columns] for row in rows]
 
     def nearest_representative(
         self, transaction: Transaction, representatives: Sequence[Transaction]
     ) -> Tuple[int, float]:
+        """(index, similarity) of the best representative; ties break to
+        the lowest index (strictly-greater update rule)."""
         return self.engine.nearest_representative(transaction, representatives)
 
     def assign_all(
@@ -250,6 +257,9 @@ class PythonBackend:
         transactions: Sequence[Transaction],
         representatives: Sequence[Transaction],
     ) -> List[Tuple[int, float]]:
+        """Bulk assignment as a plain loop over
+        :meth:`nearest_representative`, one result per transaction in input
+        order (byte-for-byte the historical behaviour)."""
         # hoist the representatives' item sets out of the transaction loop
         representative_item_sets = [
             representative.item_set() for representative in representatives
@@ -261,13 +271,15 @@ class PythonBackend:
         ]
 
     def compile_corpus(self, transactions: Sequence[Transaction]) -> int:
+        """No-op: the reference loops have nothing to precompute (returns 0)."""
         return 0
 
     def score_candidates(
         self, cluster: Sequence[Transaction], candidates: Sequence[Transaction]
     ) -> List[float]:
-        # same accumulation order as the historical per-candidate loop
-        # (sum over the cluster members, in member order)
+        """Per-candidate cohesion scores (sum of ``sim^gamma_J`` to every
+        cluster member, accumulated in member order -- the float any
+        bit-exact backend must reproduce)."""
         similarity = self.engine.transaction_similarity
         return [
             sum(similarity(member, candidate) for member in cluster)
@@ -275,6 +287,8 @@ class PythonBackend:
         ]
 
     def rank_items_batch(self, items: Sequence[TreeTupleItem]) -> List[float]:
+        """Blended item ranks via the reference loops
+        (:func:`repro.core.representatives.reference_item_ranks`)."""
         # the reference loops live next to the ranking definitions; imported
         # lazily to keep the module graph acyclic
         from repro.core.representatives import reference_item_ranks
@@ -613,6 +627,9 @@ class NumpyBackend:
     # Scalar API (parity with the reference backend)
     # ------------------------------------------------------------------ #
     def item_similarity(self, item_a: TreeTupleItem, item_b: TreeTupleItem) -> float:
+        """Combined item similarity (Eq. 1) from the shared tag-path cache
+        and the memoised per-content-class block; bit-exact with the scalar
+        reference (same IEEE-754 operation order, same short-circuits)."""
         structural = self.cache.item_similarity(item_a, item_b)
         f = self.config.f
         if f == 1.0:
@@ -629,6 +646,9 @@ class NumpyBackend:
     def gamma_shared_items(
         self, tr1: Transaction, tr2: Transaction
     ) -> Set[TreeTupleItem]:
+        """Gamma-shared item set (Eq. 2) as two masked max-reduction passes
+        over the compiled item-similarity block; the returned set equals the
+        reference loop's for every input."""
         if tr1.is_empty() or tr2.is_empty():
             return set()
         np = self._np
@@ -672,16 +692,23 @@ class NumpyBackend:
         return matched
 
     def transaction_similarity(self, tr1: Transaction, tr2: Transaction) -> float:
+        """Transaction similarity ``sim^gamma_J`` (Eq. 4) as a 1x1 batch;
+        the integer-ratio result matches the scalar loop exactly."""
         return float(self._pair_similarities([tr1], [tr2])[0, 0])
 
     def pairwise_transaction_similarity(
         self, rows: Sequence[Transaction], columns: Sequence[Transaction]
     ) -> List[List[float]]:
+        """Dense ``sim^gamma_J`` block evaluated by the vectorized batch
+        kernel, returned as nested lists in row/column input order."""
         return self._pair_similarities(rows, columns).tolist()
 
     def nearest_representative(
         self, transaction: Transaction, representatives: Sequence[Transaction]
     ) -> Tuple[int, float]:
+        """(index, similarity) of the best representative; ``np.argmax``
+        keeps the first maximum, reproducing the reference lowest-index
+        tie-break.  An empty representative list returns ``(-1, 0.0)``."""
         if not representatives:
             return -1, 0.0
         row = self._pair_similarities([transaction], representatives)[0]
@@ -693,6 +720,9 @@ class NumpyBackend:
         transactions: Sequence[Transaction],
         representatives: Sequence[Transaction],
     ) -> List[Tuple[int, float]]:
+        """Bulk assignment: the whole corpus-vs-representatives block in one
+        batched kernel call, one ``(index, similarity)`` pair per
+        transaction in input order with the lowest-index tie-break."""
         if not representatives:
             return [(-1, 0.0) for _ in transactions]
         np = self._np
@@ -709,6 +739,9 @@ class NumpyBackend:
     def score_candidates(
         self, cluster: Sequence[Transaction], candidates: Sequence[Transaction]
     ) -> List[float]:
+        """Per-candidate cohesion scores from one batched similarity block,
+        accumulated row by row so every float matches the reference
+        member-order sum bit-for-bit."""
         candidates = list(candidates)
         if not candidates:
             return []
@@ -724,6 +757,10 @@ class NumpyBackend:
         return [float(total) for total in totals]
 
     def rank_items_batch(self, items: Sequence[TreeTupleItem]) -> List[float]:
+        """Blended structural/content ranks of the whole pool: structural
+        sums over the compiled tag-path matrix, content sums over the
+        memoised per-class cosine block (column-order accumulation keeps
+        every rank identical to the reference left-to-right sum)."""
         items = list(items)
         n = len(items)
         if not n:
@@ -861,13 +898,21 @@ class ShardedBackend:
     # ------------------------------------------------------------------ #
     def _ensure_executor(self):
         if self._executor is None:
-            from repro.network.mpengine import make_executor
+            from repro.network.mpengine import shard_executor
 
-            self._executor = make_executor(parallel=True, processes=self.workers)
+            # drawn from the process-wide registry shared with cluster
+            # refinement, so assignment and refinement shards of the same
+            # worker count run in one pool (one engine cache per worker)
+            self._executor = shard_executor(self.workers)
         return self._executor
 
     def close(self) -> None:
-        """Release the worker pool (recreated lazily on the next shard)."""
+        """Release the worker pool (recreated lazily on the next shard).
+
+        The executor comes from the shared registry, so closing stops its
+        worker processes for every shard dispatcher; the pool respawns
+        lazily on whoever dispatches next.
+        """
         if self._executor is not None:
             self._executor.close()
             self._executor = None
@@ -888,35 +933,48 @@ class ShardedBackend:
     # Delegated entry points (in-process inner backend)
     # ------------------------------------------------------------------ #
     def item_similarity(self, item_a: TreeTupleItem, item_b: TreeTupleItem) -> float:
+        """Item similarity (Eq. 1), served by the in-process inner backend."""
         return self._inner.item_similarity(item_a, item_b)
 
     def gamma_shared_items(
         self, tr1: Transaction, tr2: Transaction
     ) -> Set[TreeTupleItem]:
+        """Gamma-shared item set (Eq. 2), served by the inner backend."""
         return self._inner.gamma_shared_items(tr1, tr2)
 
     def transaction_similarity(self, tr1: Transaction, tr2: Transaction) -> float:
+        """Transaction similarity (Eq. 4), served by the inner backend."""
         return self._inner.transaction_similarity(tr1, tr2)
 
     def pairwise_transaction_similarity(
         self, rows: Sequence[Transaction], columns: Sequence[Transaction]
     ) -> List[List[float]]:
+        """Similarity block, served in-process by the inner backend."""
         return self._inner.pairwise_transaction_similarity(rows, columns)
 
     def nearest_representative(
         self, transaction: Transaction, representatives: Sequence[Transaction]
     ) -> Tuple[int, float]:
+        """Single-row nearest representative, served by the inner backend."""
         return self._inner.nearest_representative(transaction, representatives)
 
     def compile_corpus(self, transactions: Sequence[Transaction]) -> int:
+        """Compile the corpus into the *inner* backend's cache (worker
+        processes compile their own copies lazily via the per-process
+        engine cache)."""
         return self._inner.compile_corpus(transactions)
 
     def score_candidates(
         self, cluster: Sequence[Transaction], candidates: Sequence[Transaction]
     ) -> List[float]:
+        """Refinement candidate scores, served by the inner backend
+        (refinement parallelism is handled one level up by
+        :func:`repro.network.mpengine.refine_clusters`, never by nesting
+        pools inside a backend call)."""
         return self._inner.score_candidates(cluster, candidates)
 
     def rank_items_batch(self, items: Sequence[TreeTupleItem]) -> List[float]:
+        """Blended item ranks, served by the inner backend."""
         return self._inner.rank_items_batch(items)
 
     # ------------------------------------------------------------------ #
@@ -940,6 +998,10 @@ class ShardedBackend:
         transactions: Sequence[Transaction],
         representatives: Sequence[Transaction],
     ) -> List[Tuple[int, float]]:
+        """Sharded bulk assignment: contiguous row blocks dispatched to
+        worker processes and concatenated in block order (deterministic,
+        bit-exact with the serial inner backend); small inputs, one worker
+        or dispatch failures fall back to the in-process inner backend."""
         transactions = list(transactions)
         if not representatives:
             return [(-1, 0.0) for _ in transactions]
@@ -947,6 +1009,12 @@ class ShardedBackend:
             return self._inner.assign_all(transactions, representatives)
         from repro.network.mpengine import AssignmentShard, assign_shard
 
+        executor = self._ensure_executor()
+        if not executor.can_dispatch():
+            # the executor would silently run shards in-process on cold
+            # duplicate engines (e.g. stdin-launched parent); the warm
+            # inner backend is strictly better
+            return self._inner.assign_all(transactions, representatives)
         representatives = list(representatives)
         shards = [
             AssignmentShard(
@@ -957,7 +1025,12 @@ class ShardedBackend:
             )
             for block in self._row_blocks(transactions)
         ]
-        results = self._ensure_executor().map(assign_shard, shards)
+        try:
+            # strict dispatch: pool/worker failures raise and land on the
+            # warm inner backend instead of cold in-process duplicates
+            results = executor.dispatch(assign_shard, shards)
+        except Exception:
+            return self._inner.assign_all(transactions, representatives)
         return [pair for block_result in results for pair in block_result]
 
 

@@ -93,6 +93,45 @@ class TestClusterCommand:
             main(["cluster", "--xml-dir", str(tmp_path / "empty")])
 
 
+class TestRefineWorkersFlag:
+    def test_cluster_with_refine_workers(self, capsys):
+        """--refine-workers runs the cluster-sharded refinement path and
+        produces the same report as the serial run (bit-exact parity)."""
+        arguments = [
+            "cluster",
+            "--corpus", "DBLP",
+            "--goal", "content",
+            "--peers", "2",
+            "--scale", "0.15",
+            "--gamma", "0.7",
+            "--max-iterations", "3",
+        ]
+        assert main(arguments) == 0
+        serial = capsys.readouterr().out
+        assert main(arguments + ["--refine-workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        # identical clusters and F-measure; timing and cache-statistics
+        # lines may differ (refinement similarity work runs on the worker
+        # engines' caches instead of the parent's)
+        strip = lambda text: [
+            line
+            for line in text.splitlines()
+            if not line.startswith(("elapsed", "simulated", "cache"))
+        ]
+        assert strip(sharded) == strip(serial)
+
+    def test_refine_workers_must_be_positive(self):
+        with pytest.raises(SystemExit, match="refine-workers"):
+            main(
+                [
+                    "cluster",
+                    "--corpus", "DBLP",
+                    "--scale", "0.15",
+                    "--refine-workers", "0",
+                ]
+            )
+
+
 class TestExperimentCommands:
     def test_table1_structure_only(self, capsys):
         code = main(
