@@ -27,6 +27,10 @@ import sys
 import time
 from typing import List, Optional, Tuple
 
+# script-local sibling module (benchmarks/ is sys.path[0] when a bench
+# script runs standalone): the shared --json report writer
+from benchjson import BenchReport
+
 from repro.core.config import ClusteringConfig
 from repro.core.seeding import select_seed_transactions
 from repro.core.xkmeans import XKMeans
@@ -127,6 +131,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=["python", "numpy"],
         help="backend specs to benchmark (first one is the reference)",
     )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write a machine-readable report (benchjson schema) to PATH",
+    )
     args = parser.parse_args(argv)
 
     scale = 0.35 if args.quick else args.scale
@@ -155,11 +165,60 @@ def main(argv: Optional[List[str]] = None) -> int:
             dataset, backend, args.k, args.f, args.gamma, args.seed
         )
 
+    assign_parity = {
+        backend: assignments[backend] == assignments[reference]
+        for backend in backends[1:]
+    }
+    fit_parity = {
+        backend: fit_results[backend].partition()
+        == fit_results[reference].partition()
+        for backend in backends[1:]
+    }
+
+    # the JSON artifact is written before any parity gate fires, so CI
+    # uploads a report (with parity=false rows) even for failing runs
+    if args.json:
+        report = BenchReport(
+            "bench_backend",
+            corpus=args.corpus,
+            scale=scale,
+            transactions=transactions,
+            k=args.k,
+            f=args.f,
+            gamma=args.gamma,
+            seed=args.seed,
+            quick=args.quick,
+            reference=reference,
+        )
+        for backend in backends:
+            is_reference = backend == reference
+            report.record(
+                backend=backend,
+                op="assign_all",
+                size=transactions,
+                seconds=assign_times[backend],
+                speedup=None
+                if is_reference
+                else assign_times[reference] / assign_times[backend],
+                parity=None if is_reference else assign_parity[backend],
+            )
+            report.record(
+                backend=backend,
+                op="fit",
+                size=transactions,
+                seconds=fit_times[backend],
+                speedup=None
+                if is_reference
+                else fit_times[reference] / fit_times[backend],
+                parity=None if is_reference else fit_parity[backend],
+            )
+        report.write(args.json)
+
     for backend in backends[1:]:
-        if assignments[backend] != assignments[reference]:
+        if not assign_parity[backend]:
             print(f"FAIL: {backend} disagrees with {reference} on the assignment step")
             return 1
-        if fit_results[backend].partition() != fit_results[reference].partition():
+        if not fit_parity[backend]:
             print(f"FAIL: {backend} disagrees with {reference} on the fitted clustering")
             return 1
     print("parity    : identical assignments and identical fitted clusterings")

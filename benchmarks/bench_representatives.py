@@ -3,10 +3,13 @@
 Measures the CXK-means summarisation machinery (``rank_items`` plus the
 ``GenerateTreeTuple`` candidate-chain scoring inside
 ``compute_local_representative``) on clusters of a synthetic generator
-corpus, once per backend, and reports the speedup of the batch
-representative-scoring engine over the pure-Python reference.  Both
-backends are verified to produce *identical* representatives -- item for
-item -- before any timing is trusted (mirroring ``bench_backend.py``).
+corpus, once per benchmarked backend (``--backends``, default
+``python numpy``; ``torch`` works too when installed), and reports the
+speedup of each backend over the reference (the first ``--backends``
+entry).  All backends are verified to produce *identical* representatives
+-- item for item -- before any timing is trusted (mirroring
+``bench_backend.py``).  ``--json PATH`` additionally writes the shared
+machine-readable report (see ``benchmarks/benchjson.py``).
 
 A second section measures *cluster-sharded refinement*
 (:func:`repro.network.mpengine.refine_clusters`): the same per-cluster
@@ -35,6 +38,10 @@ import random
 import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
+
+# script-local sibling module (benchmarks/ is sys.path[0] when a bench
+# script runs standalone): the shared --json report writer
+from benchjson import BenchReport
 
 from repro.core.representatives import compute_local_representative, rank_items
 from repro.core.seeding import select_seed_transactions
@@ -108,12 +115,13 @@ def bench_refinement(
     f: float,
     gamma: float,
     repeats: int,
-) -> Tuple[float, float, List[Transaction]]:
+) -> Tuple[float, float, List[list], List[Transaction]]:
     """Time ranking and full refinement over every cluster for one backend.
 
-    Returns (best ranking seconds, best refinement seconds,
-    representatives) -- the representatives are compared across backends
-    before any timing is trusted.
+    Returns (best ranking seconds, best refinement seconds, per-cluster
+    rankings, representatives) -- rankings and representatives are each
+    compared across backends before any timing is trusted, so the two
+    benchmark sections report parity of the outputs they actually measure.
     """
     engine = prepared_engine(clusters, backend, f, gamma)
     pools = [
@@ -133,9 +141,11 @@ def bench_refinement(
     # warm-up outside the timed region (content memo, transient compiles)
     run_ranking()
     run_refinement()
-    rank_seconds, _ = _time_best(run_ranking, repeats)
+    rank_seconds, rankings = _time_best(run_ranking, repeats)
     refine_seconds, representatives = _time_best(run_refinement, repeats)
-    return rank_seconds, refine_seconds, representatives
+    if hasattr(engine.backend, "close"):
+        engine.backend.close()  # release sharded worker pools
+    return rank_seconds, refine_seconds, rankings, representatives
 
 
 def bench_sharded_refinement(
@@ -224,6 +234,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="CI smoke mode: small corpus, no speedup requirement",
     )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=["python", "numpy"],
+        help="backend specs to benchmark (first one is the reference)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write a machine-readable report (benchjson schema) to PATH",
+    )
     args = parser.parse_args(argv)
 
     scale = 0.35 if args.quick else args.scale
@@ -239,44 +261,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: the seed assignment produced no non-empty clusters")
         return 2
 
+    backends = list(args.backends)
+    reference = backends[0]
     rank_times: Dict[str, float] = {}
     refine_times: Dict[str, float] = {}
+    rankings: Dict[str, List[list]] = {}
     representatives: Dict[str, List[Transaction]] = {}
-    for backend in ("python", "numpy"):
-        rank_times[backend], refine_times[backend], representatives[backend] = (
-            bench_refinement(clusters, backend, args.f, args.gamma, repeats)
-        )
+    for backend in backends:
+        (
+            rank_times[backend],
+            refine_times[backend],
+            rankings[backend],
+            representatives[backend],
+        ) = bench_refinement(clusters, backend, args.f, args.gamma, repeats)
 
-    mismatch = [
-        index
-        for index, (rep_python, rep_numpy) in enumerate(
-            zip(representatives["python"], representatives["numpy"])
-        )
-        if rep_python.items != rep_numpy.items
-    ]
-    if mismatch:
-        print(f"FAIL: backends disagree on the representatives of clusters {mismatch}")
-        return 1
-    print("parity    : identical representatives for every cluster")
-
-    rank_speedup = rank_times["python"] / rank_times["numpy"]
-    refine_speedup = refine_times["python"] / refine_times["numpy"]
-    print(f"{'step':<12}{'python':>12}{'numpy':>12}{'speedup':>10}")
-    print(
-        f"{'rank_items':<12}{rank_times['python']:>11.4f}s{rank_times['numpy']:>11.4f}s"
-        f"{rank_speedup:>9.1f}x"
-    )
-    print(
-        f"{'refinement':<12}{refine_times['python']:>11.4f}s{refine_times['numpy']:>11.4f}s"
-        f"{refine_speedup:>9.1f}x"
-    )
-
-    if not args.quick and refine_speedup < args.min_speedup:
-        print(
-            f"FAIL: numpy backend only {refine_speedup:.1f}x faster on the "
-            f"refinement step (required: {args.min_speedup:.1f}x)"
-        )
-        return 1
+    # parity of each measured output: the rankings themselves for the
+    # rank_items section, item-for-item representatives for refinement
+    rank_parity = {
+        backend: rankings[backend] == rankings[reference]
+        for backend in backends[1:]
+    }
+    mismatches = {
+        backend: [
+            index
+            for index, (rep_reference, rep_backend) in enumerate(
+                zip(representatives[reference], representatives[backend])
+            )
+            if rep_reference.items != rep_backend.items
+        ]
+        for backend in backends[1:]
+    }
 
     # --- cluster-sharded refinement (one cluster per worker process) ------ #
     workers = args.refine_workers
@@ -294,6 +308,110 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         if rep_serial.items != rep_sharded.items
     ]
+    shard_speedup = serial_s / sharded_s if sharded_s else float("inf")
+
+    # the JSON artifact is written before any parity gate fires, so CI
+    # uploads a report (with parity=false rows) even for failing runs
+    if args.json:
+        report = BenchReport(
+            "bench_representatives",
+            corpus=args.corpus,
+            scale=scale,
+            transactions=len(dataset.transactions),
+            clusters=len(clusters),
+            f=args.f,
+            gamma=args.gamma,
+            seed=args.seed,
+            quick=args.quick,
+            reference=reference,
+            shard_backend=args.shard_backend,
+        )
+        for backend in backends:
+            is_reference = backend == reference
+            report.record(
+                backend=backend,
+                op="rank_items",
+                size=len(clusters),
+                seconds=rank_times[backend],
+                speedup=None
+                if is_reference
+                else rank_times[reference] / rank_times[backend],
+                parity=None if is_reference else rank_parity[backend],
+            )
+            report.record(
+                backend=backend,
+                op="refinement",
+                size=len(clusters),
+                seconds=refine_times[backend],
+                speedup=None
+                if is_reference
+                else refine_times[reference] / refine_times[backend],
+                parity=None if is_reference else not mismatches[backend],
+            )
+        report.record(
+            backend=args.shard_backend,
+            op="refinement_serial",
+            size=len(clusters),
+            seconds=serial_s,
+            workers=1,
+        )
+        report.record(
+            backend=args.shard_backend,
+            op="refinement_sharded",
+            size=len(clusters),
+            seconds=sharded_s,
+            speedup=None if not sharded_s else serial_s / sharded_s,
+            parity=not shard_mismatch,
+            workers=workers,
+        )
+        report.write(args.json)
+
+    for backend in backends[1:]:
+        if not rank_parity[backend]:
+            print(
+                f"FAIL: {backend} disagrees with {reference} on the "
+                "cluster item rankings"
+            )
+            return 1
+        if mismatches[backend]:
+            print(
+                f"FAIL: {backend} disagrees with {reference} on the "
+                f"representatives of clusters {mismatches[backend]}"
+            )
+            return 1
+    print("parity    : identical rankings and representatives for every cluster")
+
+    print(f"{'step':<12}" + "".join(f"{backend:>16}" for backend in backends))
+    print(
+        f"{'rank_items':<12}"
+        + "".join(f"{rank_times[backend]:>15.4f}s" for backend in backends)
+    )
+    print(
+        f"{'refinement':<12}"
+        + "".join(f"{refine_times[backend]:>15.4f}s" for backend in backends)
+    )
+    for backend in backends[1:]:
+        print(
+            f"speedup over {reference} ({backend}): "
+            f"rank_items {rank_times[reference] / rank_times[backend]:.1f}x, "
+            f"refinement {refine_times[reference] / refine_times[backend]:.1f}x"
+        )
+
+    if not args.quick:
+        if {"python", "numpy"} <= set(backends):
+            refine_speedup = refine_times["python"] / refine_times["numpy"]
+            if refine_speedup < args.min_speedup:
+                print(
+                    f"FAIL: numpy backend only {refine_speedup:.1f}x faster on the "
+                    f"refinement step (required: {args.min_speedup:.1f}x)"
+                )
+                return 1
+        else:
+            print(
+                "note: min-speedup gate skipped "
+                "(requires both python and numpy in --backends)"
+            )
+
     if shard_mismatch:
         print(
             "FAIL: serial and sharded refinement disagree on the "
@@ -304,7 +422,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"\nsharded refinement parity: identical representatives "
         f"(backend={args.shard_backend}, workers={workers}, cpus={cpus})"
     )
-    shard_speedup = serial_s / sharded_s if sharded_s else float("inf")
     print(f"{'step':<12}{'serial':>12}{'sharded':>12}{'speedup':>10}")
     print(
         f"{'refinement':<12}{serial_s:>11.4f}s{sharded_s:>11.4f}s"

@@ -1,0 +1,193 @@
+"""Shared machine-readable benchmark report writer (``--json`` support).
+
+Every standalone ``bench_*.py`` script emits the same stable schema through
+:class:`BenchReport`, so CI jobs, the ``BENCH_*.json`` trajectory and any
+downstream tooling consume one artifact format instead of scraping the
+human-readable stdout tables.  The schema is deliberately small and
+forward-compatible:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "script": "bench_backend",
+      "metadata": {"corpus": "DBLP", "scale": 0.35, "quick": true, ...},
+      "records": [
+        {
+          "backend": "numpy",          // backend spec the row measured
+          "op": "assign_all",          // operation / benchmark section
+          "size": 83,                  // problem size (rows, clusters, ...)
+          "seconds": 0.0123,           // best wall-clock seconds
+          "speedup": 9.9,              // over the reference backend (null
+                                       // for the reference row itself)
+          "parity": true               // verified identical results (null
+                                       // when no parity check applies)
+        }
+      ]
+    }
+
+Consumers must ignore unknown keys (records may carry extras such as
+``workers``); the six core record fields are stable.  Run this module as a
+script to validate artifacts::
+
+    python benchmarks/benchjson.py out1.json out2.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+#: Schema identifier embedded in (and required of) every report.
+SCHEMA = "repro-bench/1"
+
+#: The stable core fields every record carries.
+RECORD_FIELDS = ("backend", "op", "size", "seconds", "speedup", "parity")
+
+
+class BenchReport:
+    """Collects benchmark records and writes the shared JSON schema.
+
+    Parameters
+    ----------
+    script:
+        Name of the emitting benchmark (e.g. ``"bench_backend"``).
+    **metadata:
+        Arbitrary JSON-serialisable run context (corpus, scale, flags ...)
+        stored once at the top level instead of per record.
+    """
+
+    def __init__(self, script: str, **metadata: Any) -> None:
+        self.script = script
+        self.metadata: Dict[str, Any] = dict(metadata)
+        self.records: List[Dict[str, Any]] = []
+
+    def record(
+        self,
+        *,
+        backend: str,
+        op: str,
+        size: int,
+        seconds: float,
+        speedup: Optional[float] = None,
+        parity: Optional[bool] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Append one measurement row and return it.
+
+        The six core fields are keyword-only so call sites stay readable;
+        ``extra`` keys (e.g. ``workers=4``) ride along for consumers that
+        know them and are ignored by those that don't.
+        """
+        row: Dict[str, Any] = {
+            "backend": backend,
+            "op": op,
+            "size": int(size),
+            "seconds": float(seconds),
+            "speedup": None if speedup is None else float(speedup),
+            "parity": parity,
+        }
+        row.update(extra)
+        self.records.append(row)
+        return row
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The complete report as a JSON-serialisable dictionary."""
+        return {
+            "schema": SCHEMA,
+            "script": self.script,
+            "metadata": self.metadata,
+            "records": self.records,
+        }
+
+    def write(self, path: str) -> None:
+        """Write the report to *path* (pretty-printed, trailing newline)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"bench json: wrote {len(self.records)} records to {path}")
+
+
+def validate_report(data: Any) -> List[str]:
+    """Return every schema violation in *data* (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(data, dict):
+        return [f"report must be a JSON object, got {type(data).__name__}"]
+    if data.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {data.get('schema')!r}")
+    if not isinstance(data.get("script"), str) or not data.get("script"):
+        errors.append("script must be a non-empty string")
+    if not isinstance(data.get("metadata"), dict):
+        errors.append("metadata must be an object")
+    records = data.get("records")
+    if not isinstance(records, list) or not records:
+        return errors + ["records must be a non-empty array"]
+    for index, row in enumerate(records):
+        where = f"records[{index}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        for field in RECORD_FIELDS:
+            if field not in row:
+                errors.append(f"{where} is missing {field!r}")
+        for field in ("backend", "op"):
+            if field in row and (
+                not isinstance(row[field], str) or not row[field]
+            ):
+                errors.append(f"{where}.{field} must be a non-empty string")
+        if "size" in row and (
+            isinstance(row["size"], bool)
+            or not isinstance(row["size"], int)
+            or row["size"] < 0
+        ):
+            errors.append(f"{where}.size must be a non-negative integer")
+        if "seconds" in row and (
+            not isinstance(row["seconds"], (int, float))
+            or isinstance(row["seconds"], bool)
+            or row["seconds"] < 0
+        ):
+            errors.append(f"{where}.seconds must be a non-negative number")
+        if "speedup" in row and row["speedup"] is not None and (
+            not isinstance(row["speedup"], (int, float))
+            or isinstance(row["speedup"], bool)
+            or row["speedup"] <= 0
+        ):
+            errors.append(f"{where}.speedup must be null or a positive number")
+        if "parity" in row and not (
+            row["parity"] is None or isinstance(row["parity"], bool)
+        ):
+            errors.append(f"{where}.parity must be null or a boolean")
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    """Validate one JSON artifact on disk, returning its violations."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"cannot read {path}: {error}"]
+    return validate_report(data)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validate the artifacts named on the command line (CI gate)."""
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python benchmarks/benchjson.py REPORT.json [...]")
+        return 2
+    status = 0
+    for path in paths:
+        errors = validate_file(path)
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"{path}: INVALID: {error}")
+        else:
+            print(f"{path}: ok ({SCHEMA})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,11 @@ from repro.experiments.figure8 import Figure8Config, run_figure8
 from repro.experiments.runner import make_algorithm, precompute_similarity
 from repro.experiments.table1 import AccuracyTableConfig, run_table1
 from repro.experiments.table2 import run_table2
-from repro.similarity.backend import DEFAULT_BACKEND, available_backends
+from repro.similarity.backend import (
+    DEFAULT_BACKEND,
+    registered_backends,
+    validate_backend_spec,
+)
 from repro.similarity.item import SimilarityConfig
 from repro.transactions.builder import build_dataset
 from repro.xmlmodel.parser import parse_xml_file
@@ -40,8 +44,10 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
         default=DEFAULT_BACKEND,
-        choices=available_backends(),
-        help="similarity backend for the clustering hot path",
+        metavar="NAME[:OPTIONS]",
+        help="similarity backend for the clustering hot path "
+        f"(registered: {', '.join(registered_backends())}; specs like "
+        "'sharded:4' or 'torch:cuda' select options/devices)",
     )
     parser.add_argument(
         "--shard-workers",
@@ -62,7 +68,15 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _resolve_backend(args: argparse.Namespace) -> str:
-    """Combine ``--backend`` and ``--shard-workers`` into a backend spec."""
+    """Combine ``--backend`` and ``--shard-workers`` into a validated spec.
+
+    Validation happens here -- config-resolution time -- so a misspelled
+    backend exits with the registered alternatives and a backend whose
+    optional dependency is missing (``--backend torch`` without PyTorch,
+    ``--backend torch:cuda`` without a GPU) raises
+    :class:`~repro.similarity.backend.BackendUnavailableError` with an
+    actionable message before any corpus is loaded or fit is started.
+    """
     backend = args.backend
     shard_workers = getattr(args, "shard_workers", None)
     if shard_workers is not None:
@@ -73,7 +87,10 @@ def _resolve_backend(args: argparse.Namespace) -> str:
                 f"--shard-workers must be positive, got {shard_workers}"
             )
         backend = f"sharded:{shard_workers}"
-    return backend
+    try:
+        return validate_backend_spec(backend)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from error
 
 
 def _resolve_refine_workers(args: argparse.Namespace) -> Optional[int]:
@@ -148,6 +165,9 @@ def _load_xml_directory(path: str) -> List:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    # resolve (and validate) the backend before loading any corpus, so an
+    # unavailable backend fails immediately with its actionable message
+    backend = _resolve_backend(args)
     if args.xml_dir:
         trees = _load_xml_directory(args.xml_dir)
         dataset = build_dataset(os.path.basename(args.xml_dir.rstrip("/")), trees)
@@ -157,7 +177,6 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         reference = dataset.labels_for(args.goal) if args.goal in dataset.labelings else None
 
     k = args.k or (len(set(reference.values())) if reference else 4)
-    backend = _resolve_backend(args)
     config = ClusteringConfig(
         k=k,
         similarity=SimilarityConfig(f=args.f, gamma=args.gamma),

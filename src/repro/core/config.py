@@ -36,8 +36,16 @@ class ClusteringConfig:
         representative-refinement hot paths (``"python"`` for the reference
         loops, ``"numpy"`` for the vectorized batch engine,
         ``"sharded[:workers[:inner]]"`` for the multiprocessing backend
-        sharding ``assign_all`` row blocks across worker processes; see
-        :mod:`repro.similarity.backend`).
+        sharding ``assign_all`` row blocks across worker processes,
+        ``"torch[:device]"`` for the optional tensor backend; see
+        :mod:`repro.similarity.backend`).  The spec is validated at
+        construction time
+        (:func:`~repro.similarity.backend.validate_backend_spec`): unknown
+        names and malformed options raise ``ValueError``, and backends
+        whose optional dependency is missing -- e.g. ``"torch"`` without
+        PyTorch installed, or ``"torch:cuda"`` without a usable GPU --
+        raise :class:`~repro.similarity.backend.BackendUnavailableError`
+        with an actionable message here rather than deep inside a fit.
     refine_workers:
         Worker processes for cluster-sharded representative refinement:
         each local (or global) phase dispatches one cluster's refinement
@@ -71,6 +79,14 @@ class ClusteringConfig:
             raise ValueError(
                 f"refine_workers must be positive, got {self.refine_workers}"
             )
+        # fail at config-resolution time, not deep inside a fit: unknown
+        # backends raise ValueError, missing optional dependencies raise
+        # BackendUnavailableError with install guidance.  Imported lazily
+        # because the similarity backend module sits beside, not below,
+        # this one in the layer graph.
+        from repro.similarity.backend import validate_backend_spec
+
+        validate_backend_spec(self.backend)
 
     @property
     def f(self) -> float:

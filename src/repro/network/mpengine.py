@@ -281,6 +281,13 @@ def refine_clusters(
     * ``workers <= 1``, a single populated shard, or empty clusters are
       refined in-process on the caller's *engine* (reusing its shared
       compiled corpus) -- exactly the historical serial path;
+    * shards naming a ``torch`` backend are always refined in-process:
+      tensor runtimes must not be re-initialised inside pool workers
+      (CUDA contexts cannot survive ``fork``, and every spawned worker
+      would pay a fresh runtime/device initialisation), so torch-backed
+      refinement falls back to the warm serial path cleanly instead of
+      dispatching -- mirroring the sharded assignment backend's refusal
+      to host a torch inner backend;
     * every dispatch failure -- an undispatchable environment (e.g. a
       stdin-launched parent whose ``__main__`` spawn workers cannot
       replay), a pool spawn failure (e.g. already inside a daemonic peer
@@ -299,6 +306,13 @@ def refine_clusters(
             # empty clusters yield empty representatives; never worth a
             # round-trip to a worker process
             results[shard.cluster_index] = _refine_with_engine(shard, engine)
+    if any(
+        shard.backend.partition(":")[0] == "torch" for shard in populated
+    ):
+        # torch backends refuse nested process sharding: refine on the
+        # caller's warm engine instead of re-initialising tensor runtimes
+        # inside (daemonic, fork/spawn) pool workers
+        workers = 1
     if workers <= 1 or len(populated) <= 1:
         for shard in populated:
             results[shard.cluster_index] = _refine_with_engine(shard, engine)

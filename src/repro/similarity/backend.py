@@ -26,7 +26,13 @@ architecture:
   processes (each with a cached per-process engine, see
   :mod:`repro.network.mpengine`) and concatenates the per-block results in
   block order; every other entry point is served in-process by an inner
-  ``numpy``/``python`` backend.  Selected as ``"sharded[:workers[:inner]]"``.
+  ``numpy``/``python`` backend.  Selected as ``"sharded[:workers[:inner]]"``;
+* ``"torch"`` -- :class:`~repro.similarity.torch_backend.TorchBackend`
+  (registered lazily; optional dependency), which evaluates the numpy
+  compiled-corpus layout as padded tensor kernels on a configurable device.
+  Selected as ``"torch[:device]"`` (``torch``, ``torch:cuda``,
+  ``torch:mps``); bit-exact on CPU float64, documented tolerance on
+  accelerator devices.
 
 Since this PR the protocol also covers the CXK-means *summarisation*
 machinery: :meth:`SimilarityBackend.score_candidates` evaluates every
@@ -119,6 +125,13 @@ def _numpy_importable() -> bool:
     except BackendUnavailableError:  # pragma: no cover - see above
         return False
     return True
+
+
+def _torch_importable() -> bool:
+    """True when the optional torch dependency can be imported."""
+    from repro.similarity.torch_backend import torch_importable
+
+    return torch_importable()
 
 
 # --------------------------------------------------------------------------- #
@@ -514,6 +527,26 @@ class NumpyBackend:
                 block[i, j] = value
         return block
 
+    def _content_maps(self, row_classes, column_classes):
+        """Content block plus full-size local-id remap arrays.
+
+        The single construction of the memoised content lookup shared by
+        every batch kernel (including subclasses such as the torch
+        backend, whose parity contract depends on gathering the *same*
+        floats): the dense block for the given class-id sets, and two
+        ``len(_content_exemplars)``-sized arrays mapping a global content
+        class id to its row/column position in that block.
+        """
+        np = self._np
+        content = self._content_block(row_classes.tolist(), column_classes.tolist())
+        row_remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
+        row_remap[row_classes] = np.arange(len(row_classes), dtype=np.intp)
+        column_remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
+        column_remap[column_classes] = np.arange(
+            len(column_classes), dtype=np.intp
+        )
+        return content, row_remap, column_remap
+
     def _cosine_block(self, classes):
         """Dense TCU-cosine block for the given content-class ids.
 
@@ -572,11 +605,9 @@ class NumpyBackend:
             column_classes = np.unique(
                 np.concatenate([compiled_columns[j].content_ids for j in column_positions])
             )
-            content = self._content_block(row_classes.tolist(), column_classes.tolist())
-            row_remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
-            row_remap[row_classes] = np.arange(len(row_classes), dtype=np.intp)
-            column_remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
-            column_remap[column_classes] = np.arange(len(column_classes), dtype=np.intp)
+            content, row_remap, column_remap = self._content_maps(
+                row_classes, column_classes
+            )
             all_ck_local = row_remap[all_ck]
 
         row_arange = range(len(active))
@@ -662,11 +693,9 @@ class NumpyBackend:
         else:
             row_classes = np.unique(first.content_ids)
             column_classes = np.unique(second.content_ids)
-            content = self._content_block(row_classes.tolist(), column_classes.tolist())
-            row_remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
-            row_remap[row_classes] = np.arange(len(row_classes), dtype=np.intp)
-            column_remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
-            column_remap[column_classes] = np.arange(len(column_classes), dtype=np.intp)
+            content, row_remap, column_remap = self._content_maps(
+                row_classes, column_classes
+            )
             contentpart = content[
                 row_remap[first.content_ids][:, None],
                 column_remap[second.content_ids][None, :],
@@ -887,6 +916,13 @@ class ShardedBackend:
                 inner = parts[1]
                 if inner.split(":")[0] == "sharded":
                     raise ValueError("the sharded backend cannot shard itself")
+        if inner.split(":")[0] == "torch":
+            raise ValueError(
+                "the torch backend cannot run inside sharded worker "
+                "processes (tensor runtimes must not be re-initialised in "
+                "forked/spawned shard workers); select backend='torch' "
+                "directly instead of sharding it"
+            )
         if workers is None:
             import multiprocessing
 
@@ -1107,20 +1143,87 @@ def registered_backends() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+#: Importability probes for backends with optional dependencies; backends
+#: absent from this mapping are always usable.
+_AVAILABILITY_PROBES: Dict[str, Callable[[], bool]] = {
+    "numpy": _numpy_importable,
+    "torch": _torch_importable,
+}
+
+
 def available_backends() -> Tuple[str, ...]:
     """Return the registered backends usable in this environment.
 
     ``sharded`` is always usable: it degrades to its in-process inner
-    backend when worker pools cannot be spawned.
+    backend when worker pools cannot be spawned.  Backends with optional
+    dependencies (``numpy``, ``torch``) are listed only when their
+    dependency imports; selecting an excluded one still raises an
+    actionable :class:`BackendUnavailableError` (see
+    :func:`validate_backend_spec`).
     """
     names = []
     for name in registered_backends():
-        if name == "numpy" and not _numpy_importable():
+        probe = _AVAILABILITY_PROBES.get(name)
+        if probe is not None and not probe():
             continue
         names.append(name)
     return tuple(names)
 
 
+def validate_backend_spec(spec: Optional[str]) -> str:
+    """Validate a ``"name[:options]"`` backend spec without an engine.
+
+    The config-resolution-time gate used by
+    :class:`~repro.core.config.ClusteringConfig` and the CLI so a broken
+    spec fails where the user wrote it, not deep inside a fit:
+
+    * unknown base names raise ``ValueError`` listing the registered
+      alternatives (same message as :func:`create_backend`);
+    * options passed to an option-less backend raise ``ValueError``;
+    * backends whose optional dependency is missing -- or whose requested
+      device is unusable (``torch:cuda`` on a CPU-only build) -- raise
+      :class:`BackendUnavailableError` with an actionable message;
+    * ``sharded`` options are parsed eagerly (worker counts, inner-backend
+      rules, the no-nested-torch rule).
+
+    Returns the normalised (lower-cased) spec.
+    """
+    key = (spec or DEFAULT_BACKEND).lower()
+    base, _, options = key.partition(":")
+    factory = _REGISTRY.get(base)
+    if factory is None:
+        raise ValueError(
+            f"unknown similarity backend: {spec!r} "
+            f"(registered: {', '.join(sorted(_REGISTRY))})"
+        )
+    if options and not _factory_accepts_options(factory):
+        raise ValueError(
+            f"similarity backend {base!r} accepts no options (got {options!r})"
+        )
+    if base == "numpy":
+        _load_numpy()
+    elif base == "torch":
+        from repro.similarity.torch_backend import validate_torch_spec
+
+        validate_torch_spec(options or None)
+    elif base == "sharded":
+        ShardedBackend._parse_options(options or None)
+    return key
+
+
+def _create_torch_backend(engine: "SimilarityEngine", options: Optional[str] = None):
+    """Lazy factory for the optional torch backend.
+
+    The module (and torch itself) is imported only when the backend is
+    actually selected, so the core install stays numpy-only; a missing
+    torch raises :class:`BackendUnavailableError` with install guidance.
+    """
+    from repro.similarity.torch_backend import TorchBackend
+
+    return TorchBackend(engine, options)
+
+
 register_backend("python", PythonBackend)
 register_backend("numpy", NumpyBackend)
 register_backend("sharded", ShardedBackend)
+register_backend("torch", _create_torch_backend)

@@ -1,0 +1,395 @@
+"""Optional torch tensor backend for the similarity hot paths.
+
+:class:`TorchBackend` is the accelerator-class backend behind the same
+registry as the ``python`` / ``numpy`` / ``sharded`` backends (see
+``docs/ARCHITECTURE.md``, "How to add a backend").  It mirrors
+:class:`~repro.similarity.backend.NumpyBackend`'s compiled-corpus layout --
+the same per-transaction tag-path / content-class / uid id arrays, the same
+shared tag-path matrix and memoised per-content-class blocks -- but
+evaluates the batched gamma-match kernels as padded tensor reductions on a
+configurable torch device.
+
+Device selection and dtype policy
+---------------------------------
+The backend spec is ``"torch[:device]"``:
+
+* ``"torch"`` -- CPU, float64: **bit-exact** with the scalar reference.
+  Every item similarity is gathered from the same scalar-function caches as
+  the numpy engine and blended with the same elementwise IEEE-754
+  operations in float64; the gamma-match reductions are max/any reductions
+  (order-independent, hence exact), and every accumulation that feeds a
+  comparison replays the reference left-to-right order.  The parity suite
+  (``tests/test_torch_backend.py``) asserts ``==`` on floats, assignments
+  and whole clusterings.
+* ``"torch:cuda"`` -- CUDA, float64: the same kernels on the GPU.
+  Elementwise float64 arithmetic is IEEE-754 on CUDA too, so CPU/CUDA
+  results agree in practice, but cross-device bit-exactness is *documented
+  as a tolerance* rather than asserted: library versions may fuse
+  operations differently.  The lowest-index tie-break is preserved exactly
+  on every device (the final argmax runs on the host over the downloaded
+  similarity matrix).
+* ``"torch:mps"`` -- Apple MPS, float32 (MPS has no float64): results carry
+  float32 rounding and are compared with an explicit tolerance; threshold
+  decisions for similarities within ~1e-6 of ``gamma`` may differ from the
+  float64 backends.  Tie-breaks remain lowest-index.
+
+Unavailable dependencies raise
+:class:`~repro.similarity.backend.BackendUnavailableError` with an
+actionable message at *config-resolution time* (``ClusteringConfig`` /
+CLI ``--backend torch``), never deep inside a fit; the core install stays
+numpy-only.
+
+Sharding policy
+---------------
+Torch runtimes must not be re-initialised inside multiprocessing pool
+workers (CUDA contexts cannot survive ``fork`` and every spawned worker
+would pay a fresh runtime/device initialisation).  The backend therefore
+refuses nested process sharding cleanly: ``"sharded:N:torch"`` is rejected
+at option-parsing time, and cluster-sharded refinement with a torch engine
+degrades to the warm in-process serial path
+(:func:`~repro.network.mpengine.refine_clusters`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.similarity.backend import BackendUnavailableError, NumpyBackend
+from repro.transactions.items import TreeTupleItem
+from repro.transactions.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.similarity.transaction import SimilarityEngine
+
+#: Devices the backend knows how to validate up front.  Anything else is
+#: handed to ``torch.device`` and rejected with the parse error it raises.
+KNOWN_DEVICE_TYPES = ("cpu", "cuda", "mps")
+
+
+def _load_torch():
+    """Import torch, raising :class:`BackendUnavailableError` if absent."""
+    try:
+        import torch
+    except ImportError as error:
+        raise BackendUnavailableError(
+            "the 'torch' similarity backend requires PyTorch, which is not "
+            "installed; install the CPU wheel with 'pip install torch "
+            "--index-url https://download.pytorch.org/whl/cpu' (or select "
+            "--backend numpy / python, which need no optional dependencies)"
+        ) from error
+    return torch
+
+
+def torch_importable() -> bool:
+    """Return True when PyTorch can be imported in this environment."""
+    try:
+        _load_torch()
+    except BackendUnavailableError:
+        return False
+    return True
+
+
+def _resolve_device(torch, spec: Optional[str]):
+    """Resolve a device spec (``None``/``"cuda"``/``"cuda:1"``/...).
+
+    Raises ``ValueError`` for specs torch cannot parse and
+    :class:`BackendUnavailableError` for well-formed devices that are not
+    usable in this environment (e.g. ``cuda`` on a CPU-only wheel), so the
+    failure surfaces at config-resolution time with an actionable message.
+    """
+    name = spec or "cpu"
+    try:
+        device = torch.device(name)
+    except (RuntimeError, ValueError, TypeError) as error:
+        raise ValueError(
+            f"invalid torch device {name!r} for the torch backend "
+            f"(expected 'torch[:device]' with a device such as "
+            f"{', '.join(KNOWN_DEVICE_TYPES)})"
+        ) from error
+    if device.type == "cuda" and not torch.cuda.is_available():
+        raise BackendUnavailableError(
+            "the 'torch:cuda' backend requires a CUDA-enabled PyTorch build "
+            "and a visible GPU (torch.cuda.is_available() is false); select "
+            "'torch' for the CPU tensor engine instead"
+        )
+    if device.type == "mps":
+        mps = getattr(getattr(torch, "backends", None), "mps", None)
+        if mps is None or not mps.is_available():
+            raise BackendUnavailableError(
+                "the 'torch:mps' backend requires an Apple-silicon PyTorch "
+                "build with MPS support (torch.backends.mps.is_available() "
+                "is false); select 'torch' for the CPU tensor engine instead"
+            )
+    return device
+
+
+def validate_torch_spec(options: Optional[str] = None) -> None:
+    """Validate a ``torch[:device]`` spec without building a backend.
+
+    Called by :func:`repro.similarity.backend.validate_backend_spec` (and
+    through it by ``ClusteringConfig`` and the CLI) so an uninstalled torch
+    or an unusable device fails at config-resolution time.
+    """
+    torch = _load_torch()
+    _resolve_device(torch, options)
+
+
+class TorchBackend(NumpyBackend):
+    """Tensor backend: the numpy compiled layout evaluated by torch kernels.
+
+    Shares the whole compilation pipeline with
+    :class:`~repro.similarity.backend.NumpyBackend` -- the tag-path /
+    content-class / uid registries, the pinned and transient compile
+    caches, the scalar-function memo blocks -- and overrides the two batch
+    kernels (:meth:`_pair_similarities`, :meth:`rank_items_batch`) with
+    padded tensor reductions on the configured device.  Every derived entry
+    point (``assign_all``, ``score_candidates``, ``nearest_representative``,
+    ``transaction_similarity``, ``pairwise_transaction_similarity``)
+    inherits the numpy backend's reference-order accumulation and
+    lowest-index argmax, so the parity properties documented there carry
+    over unchanged on CPU float64.
+    """
+
+    name = "torch"
+
+    def __init__(self, engine: "SimilarityEngine", options: Optional[str] = None) -> None:
+        torch = _load_torch()
+        super().__init__(engine)
+        self._torch = torch
+        self.device_spec = options or "cpu"
+        self.device = _resolve_device(torch, options)
+        # MPS has no float64; everywhere else the kernels run in float64 so
+        # CPU results are bit-exact with the scalar reference.
+        self.dtype = torch.float32 if self.device.type == "mps" else torch.float64
+        self._tp_tensor_cache = None
+
+    # ------------------------------------------------------------------ #
+    # Tensor views of the shared compiled state
+    # ------------------------------------------------------------------ #
+    def _tp_tensor(self):
+        """Device tensor view of the dense tag-path similarity matrix.
+
+        Rebuilt (and re-uploaded) only when the shared numpy matrix grew to
+        cover new tag paths; the matrix object itself is never mutated in
+        place, so a same-size cache is always current.
+        """
+        matrix = self._ensure_tp_matrix()
+        cached = self._tp_tensor_cache
+        if cached is None or cached.shape[0] != matrix.shape[0]:
+            cached = self._torch.as_tensor(
+                matrix, dtype=self.dtype, device=self.device
+            )
+            self._tp_tensor_cache = cached
+        return cached
+
+    def _index_tensor(self, values):
+        """Device ``long`` tensor for an id array (advanced indexing)."""
+        return self._torch.as_tensor(
+            self._np.ascontiguousarray(values), dtype=self._torch.long
+        ).to(self.device)
+
+    # ------------------------------------------------------------------ #
+    # Batch kernel
+    # ------------------------------------------------------------------ #
+    def _pair_similarities(self, rows: Sequence[Transaction], columns: Sequence[Transaction]):
+        """The (rows x columns) ``sim^gamma_J`` block via padded tensors.
+
+        The row transactions are padded into ``(rows, max_items)`` id
+        tensors with a validity mask; per representative column the item
+        block becomes one ``(rows, max_items, column_items)`` gather +
+        blend, and the two directed gamma-match passes of Eq. 2 are masked
+        ``amax``/``any`` reductions.  Matched-item and union counts reuse
+        the numpy backend's exact integer set arithmetic on the host, so
+        the returned float64 numpy matrix feeds the inherited entry points
+        unchanged.
+        """
+        np = self._np
+        torch = self._torch
+        f = self.config.f
+        gamma = self.config.gamma
+        sims = np.zeros((len(rows), len(columns)), dtype=np.float64)
+
+        compiled_rows = [self._compile(row) for row in rows]
+        compiled_columns = [self._compile(column) for column in columns]
+        row_positions = [i for i, c in enumerate(compiled_rows) if c.length]
+        column_positions = [j for j, c in enumerate(compiled_columns) if c.length]
+        if not row_positions or not column_positions:
+            return sims
+
+        active = [compiled_rows[i] for i in row_positions]
+        count = len(active)
+        width = max(c.length for c in active)
+
+        # --- padded row tensors (ids + validity mask) ---------------------- #
+        row_mask_np = np.zeros((count, width), dtype=bool)
+        for position, compiled in enumerate(active):
+            row_mask_np[position, : compiled.length] = True
+        row_mask = torch.as_tensor(row_mask_np).to(self.device)
+
+        if f != 0.0:
+            tp = self._tp_tensor()
+            row_tp_np = np.zeros((count, width), dtype=np.intp)
+            for position, compiled in enumerate(active):
+                row_tp_np[position, : compiled.length] = compiled.tag_path_ids
+            row_tp = self._index_tensor(row_tp_np)
+
+        # --- content lookup block (skipped entirely when f == 1) ----------- #
+        if f != 1.0:
+            row_classes = np.unique(
+                np.concatenate([c.content_ids for c in active])
+            )
+            column_classes = np.unique(
+                np.concatenate(
+                    [compiled_columns[j].content_ids for j in column_positions]
+                )
+            )
+            content, row_remap, column_remap = self._content_maps(
+                row_classes, column_classes
+            )
+            content_t = torch.as_tensor(
+                content, dtype=self.dtype, device=self.device
+            )
+            row_ck_np = np.zeros((count, width), dtype=np.intp)
+            for position, compiled in enumerate(active):
+                row_ck_np[position, : compiled.length] = row_remap[
+                    compiled.content_ids
+                ]
+            row_ck = self._index_tensor(row_ck_np)
+
+        pad_mask = ~row_mask.unsqueeze(-1)
+        for j in column_positions:
+            column = compiled_columns[j]
+            # item-similarity block: same arithmetic as the scalar Eq. 1,
+            # including the f == 0 / f == 1 short-circuits.
+            if f != 0.0:
+                column_tp = self._index_tensor(column.tag_path_ids)
+                structural = tp[row_tp.unsqueeze(-1), column_tp]
+            if f == 1.0:
+                block = structural
+            else:
+                column_ck = self._index_tensor(column_remap[column.content_ids])
+                contentpart = content_t[row_ck.unsqueeze(-1), column_ck]
+                if f == 0.0:
+                    block = contentpart
+                else:
+                    block = f * structural + (1.0 - f) * contentpart
+
+            masked = block.masked_fill(pad_mask, float("-inf"))
+            # direction tr -> rep: per representative item, the best row
+            # item(s) of each padded transaction row.
+            column_max = masked.amax(dim=1)
+            qualifying = column_max >= gamma
+            matched_rows = (
+                (block == column_max.unsqueeze(1))
+                & qualifying.unsqueeze(1)
+                & row_mask.unsqueeze(-1)
+            ).any(dim=2)
+            # direction rep -> tr: per row item, its best representative
+            # item(s); padded slots carry -inf maxima and never qualify.
+            row_max = masked.amax(dim=2)
+            row_qualifies = row_max >= gamma
+            matched_columns = (
+                (block == row_max.unsqueeze(-1)) & row_qualifies.unsqueeze(-1)
+            ).any(dim=1)
+
+            matched_rows_np = matched_rows.cpu().numpy()
+            matched_columns_np = matched_columns.cpu().numpy()
+            column_uids = column.uids
+            column_uid_set = column.uid_set
+            for position in range(count):
+                compiled = active[position]
+                matched = set(
+                    compiled.uids[
+                        matched_rows_np[position, : compiled.length]
+                    ].tolist()
+                )
+                matched.update(column_uids[matched_columns_np[position]].tolist())
+                union = len(compiled.uid_set | column_uid_set)
+                if union:
+                    sims[row_positions[position], j] = len(matched) / union
+        return sims
+
+    # ------------------------------------------------------------------ #
+    # Representative refinement (batch ranking)
+    # ------------------------------------------------------------------ #
+    def rank_items_batch(self, items: Sequence[TreeTupleItem]) -> List[float]:
+        """Blended structural/content ranks via device tensor reductions.
+
+        The structural sums are integer-valued (path multiplicities), hence
+        exact in any reduction order; the content ranks replay the
+        reference left-to-right accumulation column by column, so on CPU
+        float64 every rank is bit-identical to the scalar loop (same
+        guarantee as the numpy backend, same memoised cosine block).
+        """
+        items = list(items)
+        n = len(items)
+        if not n:
+            return []
+        np = self._np
+        torch = self._torch
+        f = self.config.f
+        gamma = self.config.gamma
+
+        # --- structural ranking (per distinct complete path) --------------- #
+        if f != 0.0:
+            path_counts = {}
+            for entry in items:
+                path_counts[entry.path] = path_counts.get(entry.path, 0) + 1
+            distinct_paths = list(path_counts)
+            item_tp = self._index_tensor(
+                np.array(
+                    [self._tag_path_id(entry.tag_path) for entry in items],
+                    dtype=np.intp,
+                )
+            )
+            pool_tp = self._index_tensor(
+                np.array(
+                    [self._tag_path_id(path.tag_path()) for path in distinct_paths],
+                    dtype=np.intp,
+                )
+            )
+            structural = self._tp_tensor()[item_tp.unsqueeze(-1), pool_tp]
+            counts = torch.as_tensor(
+                np.array(
+                    [path_counts[path] for path in distinct_paths],
+                    dtype=np.float64,
+                ),
+                dtype=self.dtype,
+                device=self.device,
+            )
+            zero = torch.zeros((), dtype=self.dtype, device=self.device)
+            rank_s = torch.where(
+                structural >= gamma, counts.unsqueeze(0), zero
+            ).sum(dim=1) / len(distinct_paths)
+        else:
+            rank_s = torch.zeros(n, dtype=self.dtype, device=self.device)
+
+        # --- content ranking (memoised per-class cosine block) ------------- #
+        if f != 1.0:
+            class_ids = np.array(
+                [self._content_id(entry) for entry in items], dtype=np.intp
+            )
+            present = np.unique(class_ids)
+            block = self._cosine_block(present.tolist())
+            remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
+            remap[present] = np.arange(len(present), dtype=np.intp)
+            local = self._index_tensor(remap[class_ids])
+            cosines = torch.as_tensor(block, dtype=self.dtype, device=self.device)[
+                local.unsqueeze(-1), local
+            ]
+            # accumulate column by column so every rank is the same
+            # sequential left-to-right sum as the reference loop
+            rank_c = torch.zeros(n, dtype=self.dtype, device=self.device)
+            for j in range(n):
+                rank_c = rank_c + cosines[:, j]
+            empty = torch.as_tensor(
+                np.array([not entry.vector for entry in items], dtype=bool)
+            ).to(self.device)
+            rank_c = rank_c.masked_fill(empty, 0.0)
+        else:
+            # the reference blend multiplies rank_C by (1 - f) == 0.0, so any
+            # finite value yields the same float; skip the cosine work
+            rank_c = torch.zeros(n, dtype=self.dtype, device=self.device)
+
+        ranks = f * rank_s + (1.0 - f) * rank_c
+        return [float(rank) for rank in ranks.cpu().tolist()]

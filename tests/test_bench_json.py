@@ -1,0 +1,134 @@
+"""Tests for the shared benchmark JSON schema writer (``benchmarks/benchjson.py``).
+
+The writer is not part of the installed package (it lives beside the
+standalone bench scripts), so it is loaded straight from its file path;
+these tests pin the schema the CI ``optional-backends`` job and the
+``BENCH_*.json`` trajectory consume: the six core record fields, the
+validation rules, and the validator CLI's exit codes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_BENCHJSON_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "benchjson.py"
+
+
+def _load_benchjson():
+    spec = importlib.util.spec_from_file_location("benchjson", _BENCHJSON_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+benchjson = _load_benchjson()
+
+
+@pytest.fixture
+def report():
+    report = benchjson.BenchReport(
+        "bench_backend", corpus="DBLP", scale=0.35, quick=True
+    )
+    report.record(
+        backend="python", op="assign_all", size=75, seconds=0.05
+    )
+    report.record(
+        backend="numpy",
+        op="assign_all",
+        size=75,
+        seconds=0.005,
+        speedup=10.0,
+        parity=True,
+    )
+    return report
+
+
+class TestBenchReport:
+    def test_records_carry_the_six_core_fields(self, report):
+        for row in report.records:
+            assert set(benchjson.RECORD_FIELDS) <= set(row)
+
+    def test_reference_rows_default_to_null_speedup_and_parity(self, report):
+        assert report.records[0]["speedup"] is None
+        assert report.records[0]["parity"] is None
+
+    def test_extra_fields_ride_along(self):
+        report = benchjson.BenchReport("bench_representatives")
+        row = report.record(
+            backend="python",
+            op="refinement_sharded",
+            size=8,
+            seconds=0.1,
+            speedup=2.0,
+            parity=True,
+            workers=4,
+        )
+        assert row["workers"] == 4
+        assert not benchjson.validate_report(report.as_dict())
+
+    def test_write_and_validate_round_trip(self, report, tmp_path):
+        path = tmp_path / "bench.json"
+        report.write(str(path))
+        data = json.loads(path.read_text())
+        assert data["schema"] == benchjson.SCHEMA
+        assert data["script"] == "bench_backend"
+        assert data["metadata"]["corpus"] == "DBLP"
+        assert len(data["records"]) == 2
+        assert not benchjson.validate_file(str(path))
+
+
+class TestValidation:
+    def test_valid_report_has_no_errors(self, report):
+        assert benchjson.validate_report(report.as_dict()) == []
+
+    def test_wrong_schema_is_rejected(self, report):
+        data = report.as_dict()
+        data["schema"] = "something-else/9"
+        assert any("schema" in error for error in benchjson.validate_report(data))
+
+    def test_missing_core_fields_are_rejected(self, report):
+        data = report.as_dict()
+        del data["records"][0]["seconds"]
+        errors = benchjson.validate_report(data)
+        assert any("'seconds'" in error for error in errors)
+
+    def test_empty_records_are_rejected(self):
+        data = benchjson.BenchReport("bench_backend").as_dict()
+        assert any("records" in error for error in benchjson.validate_report(data))
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("size", -1),
+            ("size", 1.5),
+            ("seconds", -0.1),
+            ("speedup", 0.0),
+            ("parity", "yes"),
+            ("backend", ""),
+            ("op", 3),
+        ],
+    )
+    def test_bad_field_values_are_rejected(self, report, field, value):
+        data = report.as_dict()
+        data["records"][1][field] = value
+        assert benchjson.validate_report(data)
+
+    def test_non_object_report_is_rejected(self):
+        assert benchjson.validate_report([1, 2, 3])
+
+    def test_validator_cli_exit_codes(self, report, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        report.write(str(good))
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        missing = tmp_path / "missing.json"
+        assert benchjson.main([str(good)]) == 0
+        assert benchjson.main([str(good), str(bad)]) == 1
+        assert benchjson.main([str(missing)]) == 1
+        assert benchjson.main([]) == 2
+        out = capsys.readouterr().out
+        assert "ok" in out and "INVALID" in out

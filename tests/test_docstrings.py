@@ -10,6 +10,8 @@ without installing a linter).
 Covered modules (the ISSUE's documented public API):
 
 * ``repro.similarity.backend`` -- the backend protocol and registry
+* ``repro.similarity.torch_backend`` -- the optional torch tensor backend
+  (imports without torch installed; only instantiation needs it)
 * ``repro.core.representatives`` -- the summarisation machinery
 * ``repro.network.mpengine`` -- executors, shards, per-process engines
 * ``repro.core.config`` -- :class:`~repro.core.config.ClusteringConfig`
@@ -27,9 +29,11 @@ import repro.core.config
 import repro.core.representatives
 import repro.network.mpengine
 import repro.similarity.backend
+import repro.similarity.torch_backend
 
 DOCUMENTED_MODULES = [
     repro.similarity.backend,
+    repro.similarity.torch_backend,
     repro.core.representatives,
     repro.network.mpengine,
     repro.core.config,

@@ -41,11 +41,26 @@ TEXT_VALUES = st.text(
     min_size=0,
     max_size=24,
 )
+#: Leaf text for round-trippable trees.  The default parser deliberately
+#: drops whitespace-only text nodes (data-oriented XML,
+#: ``XMLParser(keep_whitespace_text=False)``), so a strategy feeding the
+#: serialize/parse round-trip properties must only generate leaf text that
+#: survives parsing -- generating ``"   "`` made the round trip flake (the
+#: PR 2 finding pinned by ``TestWhitespaceLeafRegression``).
+LEAF_TEXT_VALUES = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,;-",
+    min_size=1,
+    max_size=24,
+).filter(lambda text: bool(text.strip()))
 
 
 @st.composite
 def xml_trees(draw, max_depth: int = 3, max_children: int = 3):
-    """Generate random small XML trees through the builder API."""
+    """Generate random small XML trees through the builder API.
+
+    Every leaf carries parser-representable (non-whitespace-only) text,
+    so the generated trees round-trip through serialize/parse exactly.
+    """
     builder = XMLTreeBuilder(doc_id="random")
     counter = [0]
 
@@ -56,11 +71,7 @@ def xml_trees(draw, max_depth: int = 3, max_children: int = 3):
             counter[0] += 1
         children = draw(st.integers(min_value=0, max_value=max_children))
         if depth >= max_depth or children == 0:
-            # whitespace-only text is deliberately dropped by the parser
-            # (data-oriented XML), so only parser-representable leaf text
-            # keeps the serialize/parse round trip an identity
-            text = draw(TEXT_VALUES)
-            builder.text(text if text.strip() else "x")
+            builder.text(draw(LEAF_TEXT_VALUES))
         else:
             for _ in range(children):
                 build(depth + 1)
@@ -124,6 +135,50 @@ class TestXMLProperties:
                 assert node.value is None
             else:
                 assert node.value is not None
+
+
+# --------------------------------------------------------------------------- #
+# Whitespace-only leaf text (the PR 2 round-trip flake, pinned)
+# --------------------------------------------------------------------------- #
+class TestWhitespaceLeafRegression:
+    """The ``xml_trees`` strategy used to emit whitespace-only leaf text,
+    which the default parser deliberately drops -- so the serialize/parse
+    round-trip property failed on rare examples.  The strategy is now
+    constrained to parser-representable text; these tests pin both the
+    parser behaviour that motivated the constraint and the constraint
+    itself."""
+
+    def whitespace_leaf_tree(self):
+        builder = XMLTreeBuilder(doc_id="ws")
+        builder.start("a")
+        builder.text("   ")
+        builder.end()
+        return builder.finish()
+
+    def test_default_parser_drops_whitespace_only_leaves(self):
+        """The behaviour that made the old strategy flake: a whitespace-only
+        leaf does not survive the default (data-oriented) parse."""
+        tree = self.whitespace_leaf_tree()
+        parsed = parse_xml(serialize(tree))
+        assert parsed != tree
+        assert [n.value for n in parsed.iter_nodes() if not n.is_element] == []
+
+    def test_keep_whitespace_text_round_trips(self):
+        """The opt-in parser mode preserves the leaf, so the drop really is
+        the default mode's deliberate choice rather than data loss."""
+        from repro.xmlmodel.parser import XMLParser
+
+        tree = self.whitespace_leaf_tree()
+        parsed = XMLParser(keep_whitespace_text=True).parse(serialize(tree))
+        assert parsed == tree
+
+    @given(xml_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_strategy_only_generates_parser_representable_leaves(self, tree):
+        """The constraint: every generated leaf survives a default parse."""
+        for node in tree.iter_nodes():
+            if not node.is_element:
+                assert node.value.strip()
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,491 @@
+"""Parity and availability tests for the optional torch backend.
+
+Two halves, so the suite passes both with and without torch installed:
+
+* **Availability** -- the ``torch`` registry entry, the actionable
+  :class:`~repro.similarity.backend.BackendUnavailableError` at
+  config-resolution time (``ClusteringConfig``, CLI) and the
+  no-nested-sharding rules.  These tests *simulate* a torch-less
+  environment (``sys.modules["torch"] = None`` makes every ``import
+  torch`` raise), so they run identically on machines with and without
+  the dependency.
+* **Parity** -- bit-exact CPU-float64 agreement with the python reference
+  (hypothesis transactions, hand-built edge cases, and full XK/CXK fits),
+  mirroring ``tests/test_similarity_backend.py``'s exact-``==``
+  discipline.  Skipped when torch is not installed; CI runs them in the
+  ``optional-backends`` and ``coverage`` jobs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ClusteringConfig
+from repro.core.representatives import compute_local_representative
+from repro.network.mpengine import RefinementShard, refine_clusters
+from repro.similarity.backend import (
+    BackendUnavailableError,
+    available_backends,
+    create_backend,
+    registered_backends,
+    validate_backend_spec,
+)
+from repro.similarity.cache import TagPathSimilarityCache
+from repro.similarity.item import SimilarityConfig
+from repro.similarity.transaction import SimilarityEngine
+from repro.text.vector import SparseVector
+from repro.transactions.items import make_synthetic_item
+from repro.transactions.transaction import make_transaction
+from repro.xmlmodel.paths import XMLPath
+
+HAS_TORCH = importlib.util.find_spec("torch") is not None
+
+needs_torch = pytest.mark.skipif(
+    not HAS_TORCH, reason="torch is not installed (optional dependency)"
+)
+
+
+# --------------------------------------------------------------------------- #
+# Helpers and strategies (mirroring test_similarity_backend.py)
+# --------------------------------------------------------------------------- #
+def item(path: str, answer: str, vector=None):
+    return make_synthetic_item(XMLPath.parse(path), answer, vector=vector)
+
+
+def engines(f: float = 0.5, gamma: float = 0.8):
+    """One python and one torch engine sharing nothing but the config."""
+    config = SimilarityConfig(f=f, gamma=gamma)
+    return (
+        SimilarityEngine(config, cache=TagPathSimilarityCache(), backend="python"),
+        SimilarityEngine(config, cache=TagPathSimilarityCache(), backend="torch"),
+    )
+
+
+_TAGS = ["a", "b", "c"]
+_TERMS = [1, 2, 3, 4]
+
+
+@st.composite
+def transactions_strategy(draw, max_items: int = 5):
+    """Random transaction: random paths, vectors and occasional empty TCUs."""
+    count = draw(st.integers(min_value=0, max_value=max_items))
+    items = []
+    for _ in range(count):
+        depth = draw(st.integers(min_value=1, max_value=3))
+        steps = [draw(st.sampled_from(_TAGS)) for _ in range(depth)] + ["S"]
+        if draw(st.booleans()):
+            weights = {
+                term: draw(st.floats(min_value=0.25, max_value=2.0))
+                for term in draw(
+                    st.sets(st.sampled_from(_TERMS), min_size=1, max_size=3)
+                )
+            }
+            vector = SparseVector(weights)
+        else:
+            vector = None  # empty TCU: content falls back to answer equality
+        answer = draw(st.sampled_from(["alpha", "beta", "gamma delta", "42"]))
+        items.append(
+            make_synthetic_item(XMLPath(tuple(steps)), answer, vector=vector)
+        )
+    return make_transaction(f"tr{draw(st.integers(0, 10_000))}", items)
+
+
+_CONFIGS = st.tuples(
+    st.sampled_from([0.0, 0.2, 0.5, 0.8, 1.0]),
+    st.sampled_from([0.0, 0.5, 0.8, 1.0]),
+)
+
+
+@pytest.fixture
+def no_torch(monkeypatch):
+    """Simulate an environment without torch.
+
+    ``None`` in ``sys.modules`` makes every ``import torch`` raise
+    ``ImportError`` (the interpreter's halted-import marker), whether or
+    not the real package is installed, so the availability behaviour is
+    testable everywhere.
+    """
+    monkeypatch.setitem(sys.modules, "torch", None)
+
+
+# --------------------------------------------------------------------------- #
+# Registry and availability (run with and without torch installed)
+# --------------------------------------------------------------------------- #
+class TestAvailability:
+    def test_torch_is_registered(self):
+        assert "torch" in registered_backends()
+
+    def test_available_backends_exclude_torch_without_torch(self, no_torch):
+        assert "torch" not in available_backends()
+
+    def test_create_backend_raises_actionable_error(self, no_torch):
+        engine = SimilarityEngine(SimilarityConfig())
+        with pytest.raises(BackendUnavailableError, match="pip install torch"):
+            create_backend("torch", engine)
+
+    @pytest.mark.parametrize("spec", ["torch", "torch:cuda", "torch:mps"])
+    def test_config_resolution_raises_without_torch(self, no_torch, spec):
+        """ClusteringConfig fails at construction, not deep inside a fit."""
+        with pytest.raises(BackendUnavailableError, match="pip install torch"):
+            ClusteringConfig(k=2, backend=spec)
+
+    def test_validate_backend_spec_raises_without_torch(self, no_torch):
+        with pytest.raises(BackendUnavailableError, match="pip install torch"):
+            validate_backend_spec("torch")
+
+    def test_cli_fails_before_loading_any_corpus(self, no_torch, monkeypatch):
+        """--backend torch raises the actionable error at resolution time."""
+        from repro import cli
+
+        def fail_dataset(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError(
+                "the corpus must not be loaded when the backend is unavailable"
+            )
+
+        monkeypatch.setattr(cli, "get_dataset", fail_dataset)
+        with pytest.raises(BackendUnavailableError, match="pip install torch"):
+            cli.main(["cluster", "--corpus", "DBLP", "--backend", "torch"])
+
+    def test_cli_rejects_unknown_backends_with_alternatives(self):
+        from repro import cli
+
+        with pytest.raises(SystemExit, match="unknown similarity backend"):
+            cli.main(["cluster", "--corpus", "DBLP", "--backend", "bogus"])
+
+    @pytest.mark.parametrize("spec", ["sharded:2:torch", "sharded::torch"])
+    def test_sharded_refuses_a_torch_inner_backend(self, spec):
+        """No nested sharding: torch never runs inside shard workers."""
+        with pytest.raises(ValueError, match="torch backend cannot run inside"):
+            validate_backend_spec(spec)
+        engine = SimilarityEngine(SimilarityConfig())
+        with pytest.raises(ValueError, match="torch backend cannot run inside"):
+            create_backend(spec, engine)
+
+
+class TestRefinementGuard:
+    def _clusters(self):
+        return [
+            [
+                make_transaction(
+                    f"t{index}-{member}",
+                    [
+                        item("r.a.S", f"v{index}", SparseVector({1: 1.0})),
+                        item("r.b.S", f"w{member}", SparseVector({2: 1.0})),
+                    ],
+                )
+                for member in range(3)
+            ]
+            for index in range(3)
+        ]
+
+    def test_torch_shards_refine_in_process_instead_of_dispatching(
+        self, monkeypatch
+    ):
+        """refine_clusters never reaches a worker pool for torch shards.
+
+        The guard is backend-name based, so the test needs no torch
+        install: the shards *name* a torch backend while the in-process
+        fallback refines on the caller's (python) engine.
+        """
+        from repro.network import mpengine
+
+        def no_pool(workers):  # pragma: no cover - must not run
+            raise AssertionError("torch shards must not reach a worker pool")
+
+        monkeypatch.setattr(mpengine, "shard_executor", no_pool)
+        engine = SimilarityEngine(
+            SimilarityConfig(f=0.5, gamma=0.8), cache=TagPathSimilarityCache()
+        )
+
+        def shards(backend):
+            return [
+                RefinementShard(
+                    cluster_index=index,
+                    members=list(cluster),
+                    similarity=engine.config,
+                    backend=backend,
+                    representative_id=f"rep:{index}",
+                )
+                for index, cluster in enumerate(self._clusters())
+            ]
+
+        serial = refine_clusters(shards("torch"), engine, workers=1)
+        for spec in ("torch", "torch:cuda"):
+            guarded = refine_clusters(shards(spec), engine, workers=4)
+            assert sorted(guarded) == sorted(serial)
+            for index in serial:
+                assert guarded[index].items == serial[index].items
+
+
+# --------------------------------------------------------------------------- #
+# Device specs (require torch; CI runs them on the CPU wheel)
+# --------------------------------------------------------------------------- #
+@needs_torch
+class TestDeviceSpecs:
+    def test_cpu_spec_is_valid_and_float64(self):
+        engine = SimilarityEngine(SimilarityConfig(), backend="torch")
+        backend = engine.backend
+        assert backend.device.type == "cpu"
+        assert backend.dtype == backend._torch.float64
+
+    def test_validate_accepts_plain_torch_spec(self):
+        assert validate_backend_spec("torch") == "torch"
+        assert "torch" in available_backends()
+
+    def test_invalid_device_raises_value_error(self):
+        with pytest.raises(ValueError, match="invalid torch device"):
+            validate_backend_spec("torch:not-a-device")
+
+    def test_cuda_without_gpu_raises_unavailable(self):
+        import torch
+
+        if torch.cuda.is_available():  # pragma: no cover - CPU wheel in CI
+            pytest.skip("CUDA is available on this host")
+        with pytest.raises(BackendUnavailableError, match="torch:cuda"):
+            ClusteringConfig(k=2, backend="torch:cuda")
+
+    def test_mps_without_apple_silicon_raises_unavailable(self):
+        import torch
+
+        mps = getattr(torch.backends, "mps", None)
+        if mps is not None and mps.is_available():  # pragma: no cover
+            pytest.skip("MPS is available on this host")
+        with pytest.raises(BackendUnavailableError, match="torch:mps"):
+            validate_backend_spec("torch:mps")
+
+
+# --------------------------------------------------------------------------- #
+# Hand-built edge cases (bit-exact CPU float64 parity)
+# --------------------------------------------------------------------------- #
+@needs_torch
+class TestEdgeCaseParity:
+    def edge_transactions(self):
+        shared = item("r.a.S", "shared", SparseVector({1: 1.0}))
+        near_1 = item("r.b.S", "near one", SparseVector({2: 1.0, 3: 1.0}))
+        near_2 = item("r.b.S", "near two", SparseVector({2: 1.0, 4: 1.0}))
+        empty_tcu_1 = item("r.c.S", "1999")
+        empty_tcu_2 = item("r.c.S", "2001")
+        return [
+            make_transaction("t1", [shared, near_1, empty_tcu_1]),
+            make_transaction("t2", [shared, near_2, empty_tcu_2]),
+            make_transaction("t3", [near_2, empty_tcu_1]),
+            make_transaction("empty", []),
+        ]
+
+    @pytest.mark.parametrize("f", [0.0, 0.5, 1.0])
+    @pytest.mark.parametrize("gamma", [0.0, 0.8, 1.0])
+    def test_pairwise_parity_on_edge_cases(self, f, gamma):
+        python_engine, torch_engine = engines(f=f, gamma=gamma)
+        transactions = self.edge_transactions()
+        expected = python_engine.pairwise_transaction_similarity(
+            transactions, transactions
+        )
+        actual = torch_engine.pairwise_transaction_similarity(
+            transactions, transactions
+        )
+        assert actual == expected  # exact, not approximate
+
+    @pytest.mark.parametrize("f", [0.0, 0.5, 1.0])
+    def test_gamma_shared_items_parity_on_edge_cases(self, f):
+        python_engine, torch_engine = engines(f=f, gamma=0.7)
+        transactions = self.edge_transactions()
+        for first in transactions:
+            for second in transactions:
+                assert torch_engine.backend.gamma_shared_items(
+                    first, second
+                ) == python_engine.gamma_shared_items(first, second)
+
+    def test_assign_all_with_no_representatives(self):
+        python_engine, torch_engine = engines()
+        transactions = self.edge_transactions()
+        expected = python_engine.assign_all(transactions, [])
+        assert expected == [(-1, 0.0)] * len(transactions)
+        assert torch_engine.assign_all(transactions, []) == expected
+
+    def test_nearest_representative_breaks_ties_to_lowest_index(self):
+        target = make_transaction("t", [item("r.a.S", "x", SparseVector({1: 1.0}))])
+        twin_a = make_transaction("rep-a", [item("r.a.S", "x", SparseVector({1: 1.0}))])
+        twin_b = make_transaction("rep-b", [item("r.a.S", "x", SparseVector({1: 1.0}))])
+        _, torch_engine = engines(f=0.5, gamma=0.5)
+        index, similarity = torch_engine.backend.nearest_representative(
+            target, [twin_a, twin_b]
+        )
+        assert index == 0
+        assert similarity == 1.0
+
+    def test_compile_corpus_is_idempotent_and_counts(self):
+        _, torch_engine = engines()
+        transactions = [tr for tr in self.edge_transactions() if tr.items]
+        assert torch_engine.backend.compile_corpus(transactions) == len(transactions)
+        assert torch_engine.backend.compile_corpus(transactions) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Property-based parity (hypothesis)
+# --------------------------------------------------------------------------- #
+@needs_torch
+class TestPropertyParity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tr1=transactions_strategy(),
+        tr2=transactions_strategy(),
+        config=_CONFIGS,
+    )
+    def test_transaction_similarity_and_shared_items_parity(self, tr1, tr2, config):
+        f, gamma = config
+        python_engine, torch_engine = engines(f=f, gamma=gamma)
+        assert torch_engine.backend.transaction_similarity(
+            tr1, tr2
+        ) == python_engine.transaction_similarity(tr1, tr2)
+        assert torch_engine.backend.gamma_shared_items(
+            tr1, tr2
+        ) == python_engine.gamma_shared_items(tr1, tr2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        transactions=st.lists(transactions_strategy(), min_size=1, max_size=6),
+        representatives=st.lists(transactions_strategy(), min_size=1, max_size=3),
+        config=_CONFIGS,
+    )
+    def test_assign_all_parity(self, transactions, representatives, config):
+        f, gamma = config
+        python_engine, torch_engine = engines(f=f, gamma=gamma)
+        assert torch_engine.assign_all(
+            transactions, representatives
+        ) == python_engine.assign_all(transactions, representatives)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        cluster=st.lists(transactions_strategy(), min_size=1, max_size=4),
+        candidates=st.lists(transactions_strategy(), min_size=1, max_size=4),
+        config=_CONFIGS,
+    )
+    def test_score_candidates_parity(self, cluster, candidates, config):
+        f, gamma = config
+        python_engine, torch_engine = engines(f=f, gamma=gamma)
+        assert torch_engine.backend.score_candidates(
+            cluster, candidates
+        ) == python_engine.backend.score_candidates(cluster, candidates)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        transactions=st.lists(transactions_strategy(), min_size=1, max_size=4),
+        config=_CONFIGS,
+    )
+    def test_rank_items_batch_parity(self, transactions, config):
+        f, gamma = config
+        python_engine, torch_engine = engines(f=f, gamma=gamma)
+        pool = [entry for tr in transactions for entry in tr.items]
+        assert torch_engine.rank_items_batch(
+            pool
+        ) == python_engine.rank_items_batch(pool)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        cluster=st.lists(transactions_strategy(max_items=4), min_size=1, max_size=4),
+        config=_CONFIGS,
+    )
+    def test_local_representative_parity(self, cluster, config):
+        f, gamma = config
+        python_engine, torch_engine = engines(f=f, gamma=gamma)
+        expected = compute_local_representative(
+            cluster, python_engine, representative_id="rep"
+        )
+        actual = compute_local_representative(
+            cluster, torch_engine, representative_id="rep"
+        )
+        assert actual.items == expected.items
+
+
+# --------------------------------------------------------------------------- #
+# Corpus-level parity (full fits; the acceptance gate)
+# --------------------------------------------------------------------------- #
+@needs_torch
+class TestFitParity:
+    @pytest.fixture(scope="class")
+    def dblp_small(self):
+        from repro.datasets.registry import get_dataset
+
+        return get_dataset("DBLP", scale=0.2, seed=0)
+
+    def test_assign_all_parity_on_generator_corpus(self, dblp_small):
+        import random
+
+        from repro.core.seeding import select_seed_transactions
+
+        python_engine, torch_engine = engines(f=0.5, gamma=0.8)
+        transactions = dblp_small.transactions
+        torch_engine.backend.compile_corpus(transactions)
+        representatives = select_seed_transactions(transactions, 5, random.Random(0))
+        assert torch_engine.assign_all(
+            transactions, representatives
+        ) == python_engine.assign_all(transactions, representatives)
+
+    def test_xkmeans_fit_parity_same_seed(self, dblp_small):
+        from repro.core.xkmeans import XKMeans
+
+        results = {}
+        for backend in ("python", "torch"):
+            config = ClusteringConfig(
+                k=4,
+                similarity=SimilarityConfig(f=0.5, gamma=0.8),
+                seed=7,
+                max_iterations=5,
+                backend=backend,
+            )
+            results[backend] = XKMeans(config).fit(dblp_small.transactions)
+        assert results["python"].partition() == results["torch"].partition()
+        assert results["python"].iterations == results["torch"].iterations
+        for rep_python, rep_torch in zip(
+            results["python"].representatives(),
+            results["torch"].representatives(),
+        ):
+            assert sorted(
+                (str(entry.path), entry.answer) for entry in rep_python.items
+            ) == sorted((str(entry.path), entry.answer) for entry in rep_torch.items)
+
+    def test_cxkmeans_fit_parity_same_seed(self, dblp_small):
+        from repro.core.cxkmeans import CXKMeans
+
+        partitions = [
+            dblp_small.transactions[0::2],
+            dblp_small.transactions[1::2],
+        ]
+        results = {}
+        for backend in ("python", "torch"):
+            config = ClusteringConfig(
+                k=3,
+                similarity=SimilarityConfig(f=0.5, gamma=0.8),
+                seed=3,
+                max_iterations=4,
+                backend=backend,
+            )
+            results[backend] = CXKMeans(config).fit(partitions)
+        assert results["python"].partition() == results["torch"].partition()
+
+    def test_cxkmeans_fit_with_refine_workers_matches_serial(self, dblp_small):
+        """refine_workers>1 + torch degrades to the serial in-process path
+        (the no-nested-sharding rule) without changing the clustering."""
+        from repro.core.cxkmeans import CXKMeans
+
+        partitions = [
+            dblp_small.transactions[0::2],
+            dblp_small.transactions[1::2],
+        ]
+        results = {}
+        for refine_workers in (None, 2):
+            config = ClusteringConfig(
+                k=3,
+                similarity=SimilarityConfig(f=0.5, gamma=0.8),
+                seed=3,
+                max_iterations=3,
+                backend="torch",
+                refine_workers=refine_workers,
+            )
+            results[refine_workers] = CXKMeans(config).fit(partitions)
+        assert results[None].partition() == results[2].partition()
