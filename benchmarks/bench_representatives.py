@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 # script-local sibling module (benchmarks/ is sys.path[0] when a bench
 # script runs standalone): the shared --json report writer
-from benchjson import BenchReport
+from benchjson import BenchReport, reference_speedup
 
 from repro.core.representatives import compute_local_representative, rank_items
 from repro.core.seeding import select_seed_transactions
@@ -324,18 +324,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             quick=args.quick,
             reference=reference,
+            speedup_baseline="python",
             shard_backend=args.shard_backend,
         )
         for backend in backends:
             is_reference = backend == reference
+            # speedups are over the measured python reference backend; an
+            # explicit null when python was excluded via --backends (no
+            # baseline exists), never a ratio against another backend
             report.record(
                 backend=backend,
                 op="rank_items",
                 size=len(clusters),
                 seconds=rank_times[backend],
-                speedup=None
-                if is_reference
-                else rank_times[reference] / rank_times[backend],
+                speedup=reference_speedup(rank_times, backend),
                 parity=None if is_reference else rank_parity[backend],
             )
             report.record(
@@ -343,9 +345,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 op="refinement",
                 size=len(clusters),
                 seconds=refine_times[backend],
-                speedup=None
-                if is_reference
-                else refine_times[reference] / refine_times[backend],
+                speedup=reference_speedup(refine_times, backend),
                 parity=None if is_reference else not mismatches[backend],
             )
         report.record(

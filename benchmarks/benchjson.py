@@ -18,8 +18,16 @@ forward-compatible:
           "op": "assign_all",          // operation / benchmark section
           "size": 83,                  // problem size (rows, clusters, ...)
           "seconds": 0.0123,           // best wall-clock seconds
-          "speedup": 9.9,              // over the reference backend (null
-                                       // for the reference row itself)
+          "speedup": 9.9,              // over the measured python reference
+                                       // backend; null for the python row
+                                       // itself AND whenever python was not
+                                       // benchmarked (never a ratio against
+                                       // some other backend -- an absent
+                                       // baseline is an explicit null, not
+                                       // a misleading number).  Rows whose
+                                       // op documents another baseline
+                                       // (e.g. refinement_sharded vs. its
+                                       // serial twin) are the exception.
           "parity": true               // verified identical results (null
                                        // when no parity check applies)
         }
@@ -28,9 +36,11 @@ forward-compatible:
 
 Consumers must ignore unknown keys (records may carry extras such as
 ``workers``); the six core record fields are stable.  Run this module as a
-script to validate artifacts::
+script to validate artifacts -- a file may hold either one report object
+or a JSON array of them (the committed ``BENCH_*.json`` trajectory
+format, one entry appended per recorded run)::
 
-    python benchmarks/benchjson.py out1.json out2.json
+    python benchmarks/benchjson.py out1.json BENCH_backend.json
 """
 
 from __future__ import annotations
@@ -109,6 +119,28 @@ class BenchReport:
         print(f"bench json: wrote {len(self.records)} records to {path}")
 
 
+def reference_speedup(
+    seconds_by_backend: Dict[str, float],
+    backend: str,
+    reference: str = "python",
+) -> Optional[float]:
+    """Speedup of *backend* over the measured *reference*, or ``None``.
+
+    The single speedup-baseline policy of every bench script's JSON
+    records: a ratio is reported only when the reference backend was
+    actually benchmarked in the same run.  ``None`` (an explicit null in
+    the artifact) is returned for the reference row itself, when the
+    reference was excluded via ``--backends`` (no baseline exists -- a
+    ratio against whatever backend happened to run first would be
+    misleading), and for degenerate zero timings.
+    """
+    baseline = seconds_by_backend.get(reference)
+    own = seconds_by_backend.get(backend)
+    if backend == reference or baseline is None or own is None or not own:
+        return None
+    return baseline / own
+
+
 def validate_report(data: Any) -> List[str]:
     """Return every schema violation in *data* (empty list = valid)."""
     errors: List[str] = []
@@ -161,13 +193,38 @@ def validate_report(data: Any) -> List[str]:
     return errors
 
 
+def validate_trajectory(data: Any) -> List[str]:
+    """Validate a trajectory array (the committed ``BENCH_*.json`` format).
+
+    A trajectory is a JSON array of report objects, one appended per
+    recorded run; an empty array is valid (the trajectory simply has no
+    entries yet).  Returns every violation across all entries, prefixed
+    with the entry index.
+    """
+    if not isinstance(data, list):
+        return [f"trajectory must be a JSON array, got {type(data).__name__}"]
+    errors: List[str] = []
+    for index, entry in enumerate(data):
+        errors.extend(
+            f"entry[{index}]: {error}" for error in validate_report(entry)
+        )
+    return errors
+
+
 def validate_file(path: str) -> List[str]:
-    """Validate one JSON artifact on disk, returning its violations."""
+    """Validate one JSON artifact on disk, returning its violations.
+
+    The file may hold a single report object or a trajectory array of
+    report objects; the two shapes are distinguished by the top-level
+    JSON type.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
     except (OSError, ValueError) as error:
         return [f"cannot read {path}: {error}"]
+    if isinstance(data, list):
+        return validate_trajectory(data)
     return validate_report(data)
 
 

@@ -32,6 +32,7 @@ from repro.experiments.table1 import AccuracyTableConfig, run_table1
 from repro.experiments.table2 import run_table2
 from repro.similarity.backend import (
     DEFAULT_BACKEND,
+    BackendUnavailableError,
     registered_backends,
     validate_backend_spec,
 )
@@ -47,7 +48,8 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         metavar="NAME[:OPTIONS]",
         help="similarity backend for the clustering hot path "
         f"(registered: {', '.join(registered_backends())}; specs like "
-        "'sharded:4' or 'torch:cuda' select options/devices)",
+        "'numpy:block=1024', 'sharded:4' or 'torch:cuda' select "
+        "options/devices; unknown specs list the registered alternatives)",
     )
     parser.add_argument(
         "--shard-workers",
@@ -56,6 +58,16 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for the sharded backend "
         "(only with --backend sharded; default: one per CPU)",
+    )
+    parser.add_argument(
+        "--batch-block-items",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tile budget (items per side) of the batched similarity "
+        "kernels; bounds peak kernel scratch memory regardless of corpus "
+        "size (0 = unbounded, default: backend default; results are "
+        "bit-exact for every budget)",
     )
     parser.add_argument(
         "--refine-workers",
@@ -88,9 +100,25 @@ def _resolve_backend(args: argparse.Namespace) -> str:
             )
         backend = f"sharded:{shard_workers}"
     try:
+        # ValueError (unknown name, malformed options) and
+        # BackendUnavailableError (missing optional dependency, unusable
+        # device) both exit cleanly with validate_backend_spec's message --
+        # the same text a ClusteringConfig constructed with this spec
+        # raises, so CLI and library users see identical diagnostics
         return validate_backend_spec(backend)
-    except ValueError as error:
+    except (ValueError, BackendUnavailableError) as error:
         raise SystemExit(f"error: {error}") from error
+
+
+def _resolve_batch_block_items(args: argparse.Namespace) -> Optional[int]:
+    """Validate and return ``--batch-block-items`` (None = backend default)."""
+    batch_block_items = getattr(args, "batch_block_items", None)
+    if batch_block_items is not None and batch_block_items < 0:
+        raise SystemExit(
+            "--batch-block-items must be >= 0 (0 = unbounded), got "
+            f"{batch_block_items}"
+        )
+    return batch_block_items
 
 
 def _resolve_refine_workers(args: argparse.Namespace) -> Optional[int]:
@@ -183,6 +211,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_iterations=args.max_iterations,
         backend=backend,
+        batch_block_items=_resolve_batch_block_items(args),
         refine_workers=_resolve_refine_workers(args),
     )
     algorithm = make_algorithm(args.algorithm, config)
@@ -200,7 +229,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     print(f"algorithm : {result.metadata.get('algorithm')}")
     print(f"backend   : {backend}")
     print(
-        "cache     : entries={entries} hits={hits} misses={misses}".format(**cache_stats)
+        "cache     : entries={entries} hits={hits} misses={misses} "
+        "precomputed={precomputed}".format(**cache_stats)
     )
     print(f"clusters  : {result.k}  (trash: {result.trash_size()} transactions)")
     print(f"iterations: {result.iterations} (converged: {result.converged})")
@@ -225,6 +255,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         seeds=(args.seed,),
         max_iterations=args.max_iterations,
         backend=_resolve_backend(args),
+        batch_block_items=_resolve_batch_block_items(args),
         refine_workers=_resolve_refine_workers(args),
     )
     print(run_figure7(config).report())
@@ -239,6 +270,7 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
         seeds=(args.seed,),
         max_iterations=args.max_iterations,
         backend=_resolve_backend(args),
+        batch_block_items=_resolve_batch_block_items(args),
         refine_workers=_resolve_refine_workers(args),
     )
     print(run_figure8(config).report())
@@ -254,6 +286,7 @@ def _cmd_table(args: argparse.Namespace, table_number: int) -> int:
         max_iterations=args.max_iterations,
         goals=tuple(args.goals),
         backend=_resolve_backend(args),
+        batch_block_items=_resolve_batch_block_items(args),
         refine_workers=_resolve_refine_workers(args),
     )
     if table_number == 1:

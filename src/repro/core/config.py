@@ -46,6 +46,22 @@ class ClusteringConfig:
         PyTorch installed, or ``"torch:cuda"`` without a usable GPU --
         raise :class:`~repro.similarity.backend.BackendUnavailableError`
         with an actionable message here rather than deep inside a fit.
+    batch_block_items:
+        Tile budget (items per tile side) of the batched similarity
+        kernels: the ``numpy`` and ``torch`` backends evaluate their
+        similarity blocks in ``(row_tile x column_tile)`` tiles whose
+        row-item and column-item totals each stay within this budget, so
+        peak scratch memory is bounded regardless of corpus size while
+        several column transactions are fused per kernel call.  ``None``
+        keeps the backend default
+        (:data:`~repro.similarity.backend.DEFAULT_BLOCK_ITEMS`), ``0``
+        selects the unbounded single-tile (untiled) path, and any
+        positive value caps the tile side.  Tiling is bit-exact: every
+        budget produces identical results (see
+        :attr:`effective_backend`, which threads the budget into the
+        backend spec -- including the inner spec of a ``sharded``
+        backend, so worker processes inherit it).  An explicit
+        ``block=`` option in :attr:`backend` takes precedence.
     refine_workers:
         Worker processes for cluster-sharded representative refinement:
         each local (or global) phase dispatches one cluster's refinement
@@ -66,6 +82,7 @@ class ClusteringConfig:
     seed: int = 0
     max_representative_items: Optional[int] = None
     backend: str = "python"
+    batch_block_items: Optional[int] = None
     refine_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -74,6 +91,11 @@ class ClusteringConfig:
         if self.max_iterations < 1:
             raise ValueError(
                 f"max_iterations must be positive, got {self.max_iterations}"
+            )
+        if self.batch_block_items is not None and self.batch_block_items < 0:
+            raise ValueError(
+                "batch_block_items must be >= 0 (0 = unbounded), got "
+                f"{self.batch_block_items}"
             )
         if self.refine_workers is not None and self.refine_workers < 1:
             raise ValueError(
@@ -87,6 +109,11 @@ class ClusteringConfig:
         from repro.similarity.backend import validate_backend_spec
 
         validate_backend_spec(self.backend)
+        if self.batch_block_items is not None:
+            # the merged spec (batch_block_items threaded into the backend
+            # options) is what the algorithms actually run; validate it
+            # here too so the merge cannot fail later
+            validate_backend_spec(self.effective_backend)
 
     @property
     def f(self) -> float:
@@ -103,6 +130,53 @@ class ClusteringConfig:
         """The refinement worker count with ``None`` resolved to serial (1)."""
         return self.refine_workers or 1
 
+    @property
+    def effective_batch_block_items(self) -> int:
+        """The tile budget the batch kernels will actually run with.
+
+        Resolved from :attr:`effective_backend` -- so a spec-level
+        ``block=`` option (which wins over :attr:`batch_block_items`, see
+        :attr:`effective_backend`) is reported correctly -- falling back
+        to the backend default
+        (:data:`~repro.similarity.backend.DEFAULT_BLOCK_ITEMS`) when
+        neither the spec nor the config names a budget.  ``0`` means
+        unbounded (the untiled single-tile path); any positive value caps
+        each tile side's item total.
+        """
+        from repro.similarity.backend import (
+            DEFAULT_BLOCK_ITEMS,
+            spec_block_items,
+        )
+
+        block = spec_block_items(self.effective_backend)
+        if block is not None:
+            return block
+        # backends without batch kernels (python) carry no block in their
+        # spec; fall back to the config knob, then the backend default
+        if self.batch_block_items is not None:
+            return self.batch_block_items
+        return DEFAULT_BLOCK_ITEMS
+
+    @property
+    def effective_backend(self) -> str:
+        """The backend spec the algorithms run: ``backend`` + tile budget.
+
+        When :attr:`batch_block_items` is set, the budget is merged into
+        the spec's option grammar
+        (:func:`~repro.similarity.backend.merge_block_option`):
+        ``numpy``/``torch`` specs gain ``:block=N``, ``sharded`` specs
+        thread it into their inner spec (so shard workers inherit the tile
+        configuration through the shard payload), the ``python`` reference
+        is unchanged, and an explicit ``block=`` already present in the
+        spec wins.  With :attr:`batch_block_items` unset this is simply
+        :attr:`backend`.
+        """
+        if self.batch_block_items is None:
+            return self.backend
+        from repro.similarity.backend import merge_block_option
+
+        return merge_block_option(self.backend, self.batch_block_items)
+
     def with_k(self, k: int) -> "ClusteringConfig":
         """Return a copy of the configuration with a different ``k``."""
         return replace(self, k=k)
@@ -118,6 +192,12 @@ class ClusteringConfig:
     def with_backend(self, backend: str) -> "ClusteringConfig":
         """Return a copy with a different similarity backend."""
         return replace(self, backend=backend)
+
+    def with_batch_block_items(
+        self, batch_block_items: Optional[int]
+    ) -> "ClusteringConfig":
+        """Return a copy with a different batch tile budget."""
+        return replace(self, batch_block_items=batch_block_items)
 
     def with_refine_workers(self, refine_workers: Optional[int]) -> "ClusteringConfig":
         """Return a copy with a different refinement worker budget."""

@@ -119,7 +119,9 @@ def run_local_phase(
     """
     start = time.perf_counter()
     config = phase_input.config
-    local_engine = engine or process_engine(config.similarity, config.backend)
+    local_engine = engine or process_engine(
+        config.similarity, config.effective_backend
+    )
     representatives = phase_input.global_representatives
     k = len(representatives)
     transactions = phase_input.transactions
@@ -205,7 +207,9 @@ class CXKMeans:
         self.executor = executor or SerialExecutor()
         self._shared_cache = TagPathSimilarityCache()
         self._engine = SimilarityEngine(
-            config.similarity, cache=self._shared_cache, backend=config.backend
+            config.similarity,
+            cache=self._shared_cache,
+            backend=config.effective_backend,
         )
 
     @property
@@ -439,7 +443,8 @@ class CXKMeans:
                         self._engine
                         if use_shared_engine
                         else SimilarityEngine(
-                            self.config.similarity, backend=self.config.backend
+                            self.config.similarity,
+                            backend=self.config.effective_backend,
                         )
                     )
                     shards = []

@@ -67,7 +67,9 @@ class PKMeans:
         self.objective_tolerance = objective_tolerance
         self._shared_cache = TagPathSimilarityCache()
         self._engine = SimilarityEngine(
-            config.similarity, cache=self._shared_cache, backend=config.backend
+            config.similarity,
+            cache=self._shared_cache,
+            backend=config.effective_backend,
         )
 
     @property
@@ -221,7 +223,8 @@ class PKMeans:
                         self._engine
                         if use_shared_engine
                         else SimilarityEngine(
-                            self.config.similarity, backend=self.config.backend
+                            self.config.similarity,
+                            backend=self.config.effective_backend,
                         )
                     )
                     computed: Dict[int, Transaction] = {}

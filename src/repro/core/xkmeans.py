@@ -49,7 +49,7 @@ class XKMeans:
         self.engine = engine or SimilarityEngine(
             config.similarity,
             cache=TagPathSimilarityCache(),
-            backend=config.backend,
+            backend=config.effective_backend,
         )
 
     # ------------------------------------------------------------------ #

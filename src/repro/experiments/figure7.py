@@ -39,8 +39,13 @@ class Figure7Config:
     #: documents per scale unit than DBLP or Wikipedia).
     dataset_scale_multipliers: Dict[str, float] = field(default_factory=dict)
     #: Similarity backend spec driving the clustering hot path
-    #: (``"python"``, ``"numpy"`` or ``"sharded[:workers[:inner]]"``).
+    #: (``"python"``, ``"numpy[:block=N]"``, ``"sharded[:workers[:inner]]"``
+    #: or ``"torch[:device][:block=N]"``).
     backend: str = "python"
+    #: Tile budget (items per side) of the batched similarity kernels
+    #: (``None`` = backend default, ``0`` = unbounded; see
+    #: :attr:`repro.core.config.ClusteringConfig.batch_block_items`).
+    batch_block_items: Optional[int] = None
     #: Worker processes for cluster-sharded representative refinement
     #: (``None`` keeps the serial refinement path).
     refine_workers: Optional[int] = None
@@ -98,6 +103,7 @@ def run_figure7(config: Optional[Figure7Config] = None) -> Figure7Result:
                 max_iterations=config.max_iterations,
                 cost_model=config.cost_model,
                 backend=config.backend,
+                batch_block_items=config.batch_block_items,
                 refine_workers=config.refine_workers,
             )
             aggregates = sweep.run()

@@ -145,6 +145,7 @@ def run_configuration(
     max_iterations: int = 8,
     cost_model: Optional[CostModel] = None,
     backend: str = "python",
+    batch_block_items: Optional[int] = None,
     refine_workers: Optional[int] = None,
 ) -> RunRecord:
     """Run one clustering configuration and score it against the ground truth."""
@@ -158,6 +159,7 @@ def run_configuration(
         seed=seed,
         max_iterations=max_iterations,
         backend=backend,
+        batch_block_items=batch_block_items,
         refine_workers=refine_workers,
     )
     algo = make_algorithm(algorithm, config, cost_model=cost_model)
@@ -249,8 +251,13 @@ class ExperimentSweep:
     cost_model: CostModel = field(default_factory=CostModel)
     dataset_seed: int = 0
     #: Similarity backend spec driving the clustering hot path
-    #: (``"python"``, ``"numpy"`` or ``"sharded[:workers[:inner]]"``).
+    #: (``"python"``, ``"numpy[:block=N]"``, ``"sharded[:workers[:inner]]"``
+    #: or ``"torch[:device][:block=N]"``).
     backend: str = "python"
+    #: Tile budget (items per side) of the batched similarity kernels
+    #: (``None`` = backend default, ``0`` = unbounded; see
+    #: :attr:`repro.core.config.ClusteringConfig.batch_block_items`).
+    batch_block_items: Optional[int] = None
     #: Worker processes for cluster-sharded representative refinement
     #: (``None`` keeps the serial refinement path).
     refine_workers: Optional[int] = None
@@ -285,6 +292,7 @@ class ExperimentSweep:
                                 max_iterations=self.max_iterations,
                                 cost_model=self.cost_model,
                                 backend=self.backend,
+                                batch_block_items=self.batch_block_items,
                                 refine_workers=self.refine_workers,
                             )
                         )

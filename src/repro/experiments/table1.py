@@ -51,8 +51,13 @@ class AccuracyTableConfig:
     cost_model: CostModel = field(default_factory=CostModel)
     datasets: Optional[Sequence[str]] = None
     #: Similarity backend spec driving the clustering hot path
-    #: (``"python"``, ``"numpy"`` or ``"sharded[:workers[:inner]]"``).
+    #: (``"python"``, ``"numpy[:block=N]"``, ``"sharded[:workers[:inner]]"``
+    #: or ``"torch[:device][:block=N]"``).
     backend: str = "python"
+    #: Tile budget (items per side) of the batched similarity kernels
+    #: (``None`` = backend default, ``0`` = unbounded; see
+    #: :attr:`repro.core.config.ClusteringConfig.batch_block_items`).
+    batch_block_items: Optional[int] = None
     #: Worker processes for cluster-sharded representative refinement
     #: (``None`` keeps the serial refinement path).
     refine_workers: Optional[int] = None
@@ -115,6 +120,7 @@ def run_accuracy_table(config: Optional[AccuracyTableConfig] = None) -> Accuracy
             max_iterations=config.max_iterations,
             cost_model=config.cost_model,
             backend=config.backend,
+            batch_block_items=config.batch_block_items,
             refine_workers=config.refine_workers,
         )
         aggregates = sweep.run()

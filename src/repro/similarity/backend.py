@@ -20,19 +20,25 @@ architecture:
   structural-similarity matrix, content-class id arrays indexing a memoised
   content-similarity block, item-uid arrays for the union counts) and
   evaluates the two directed gamma-match passes as vectorized row/column
-  reductions;
+  reductions over ``(row_tile x column_tile)`` blocks of bounded item
+  budget (``"numpy[:block=N]"``, default :data:`DEFAULT_BLOCK_ITEMS`;
+  ``block=0`` = unbounded), so peak scratch memory never grows with the
+  corpus;
 * ``"sharded"`` -- :class:`ShardedBackend`, which splits the rows of the
   bulk ``assign_all`` call into contiguous blocks evaluated by worker
   processes (each with a cached per-process engine, see
   :mod:`repro.network.mpengine`) and concatenates the per-block results in
   block order; every other entry point is served in-process by an inner
-  ``numpy``/``python`` backend.  Selected as ``"sharded[:workers[:inner]]"``;
+  ``numpy``/``python`` backend.  Selected as
+  ``"sharded[:workers[:inner]]"`` where the inner spec may carry its own
+  options (``"sharded:4:numpy:block=64"`` -- workers inherit the tile
+  configuration);
 * ``"torch"`` -- :class:`~repro.similarity.torch_backend.TorchBackend`
   (registered lazily; optional dependency), which evaluates the numpy
-  compiled-corpus layout as padded tensor kernels on a configurable device.
-  Selected as ``"torch[:device]"`` (``torch``, ``torch:cuda``,
-  ``torch:mps``); bit-exact on CPU float64, documented tolerance on
-  accelerator devices.
+  compiled-corpus layout as padded tensor kernels on a configurable device,
+  tiled by the same item budget.  Selected as ``"torch[:device][:block=N]"``
+  (``torch``, ``torch:cuda``, ``torch:cuda:block=4096``, ``torch:mps``);
+  bit-exact on CPU float64, documented tolerance on accelerator devices.
 
 Since this PR the protocol also covers the CXK-means *summarisation*
 machinery: :meth:`SimilarityBackend.score_candidates` evaluates every
@@ -102,9 +108,139 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Name of the backend used when none is requested explicitly.
 DEFAULT_BACKEND = "python"
 
+#: Default item budget per tile side of the batched kernels.  Every batch
+#: backend evaluates its similarity blocks in ``(row_tile x column_tile)``
+#: tiles whose row-item and column-item totals each stay within this
+#: budget, so peak scratch memory is bounded by roughly
+#: ``budget**2 * 8`` bytes per scratch array regardless of corpus size.
+#: Overridable per backend spec (``numpy:block=N``) or through
+#: :attr:`~repro.core.config.ClusteringConfig.batch_block_items`;
+#: ``block=0`` selects the unbounded single-tile (untiled) path.
+DEFAULT_BLOCK_ITEMS = 2048
+
 
 class BackendUnavailableError(RuntimeError):
     """Raised when a registered backend cannot run in this environment."""
+
+
+def _unknown_backend_message(spec) -> str:
+    """The single unknown-backend error message shared by every entry point.
+
+    :func:`create_backend`, :func:`validate_backend_spec` (and through it
+    ``ClusteringConfig`` and the CLI) all raise exactly this text, so a
+    misspelled spec lists the same registered alternatives no matter where
+    the user wrote it.
+    """
+    return (
+        f"unknown similarity backend: {spec!r} "
+        f"(registered: {', '.join(sorted(_REGISTRY))})"
+    )
+
+
+def split_block_option(
+    options: Optional[str], spec: str
+) -> Tuple[List[str], Optional[int]]:
+    """Split ``block=N`` parts out of a backend option string.
+
+    Returns ``(remaining_parts, block_items)`` where *remaining_parts* are
+    the non-empty, non-``block=`` option parts in order and *block_items*
+    is ``None`` when the spec carries no block option.  ``block=0`` is the
+    explicit unbounded (untiled single-tile) selection; negative or
+    non-integer values and duplicate ``block=`` parts raise ``ValueError``
+    naming *spec* so config-resolution-time validation points at the spec
+    the user wrote.
+    """
+    block: Optional[int] = None
+    rest: List[str] = []
+    if not options:
+        return rest, block
+    for part in options.split(":"):
+        if part.startswith("block="):
+            if block is not None:
+                raise ValueError(
+                    f"duplicate 'block=' option in backend spec {spec!r}"
+                )
+            value = part[len("block="):]
+            try:
+                block = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"invalid batch block size {value!r} in backend spec "
+                    f"{spec!r} (expected 'block=N' with an integer N >= 0; "
+                    "0 selects the unbounded untiled path)"
+                ) from None
+            if block < 0:
+                raise ValueError(
+                    f"batch block size must be >= 0 (0 = unbounded), got "
+                    f"{block} in backend spec {spec!r}"
+                )
+        elif part:
+            rest.append(part)
+    return rest, block
+
+
+def spec_block_items(spec: Optional[str]) -> Optional[int]:
+    """The ``block=`` budget a backend spec will actually run with.
+
+    Resolves the spec the way the factories do: ``numpy``/``torch`` specs
+    are scanned for a ``block=`` option, ``sharded`` specs defer to their
+    inner spec, and specs without batch kernels (``python``) or without a
+    ``block=`` option return ``None`` (backend default).  Malformed specs
+    also return ``None`` -- this is a read-only resolver; validation stays
+    with :func:`validate_backend_spec`.
+    """
+    key = (spec or DEFAULT_BACKEND).lower()
+    base, _, options = key.partition(":")
+    if base == "sharded":
+        parts = options.split(":") if options else []
+        inner = ":".join(parts[1:]) if len(parts) > 1 else ""
+        return spec_block_items(inner) if inner else None
+    if base not in ("numpy", "torch"):
+        return None
+    try:
+        _, block = split_block_option(options or None, key)
+    except ValueError:
+        return None
+    return block
+
+
+def merge_block_option(spec: Optional[str], block_items: Optional[int]) -> str:
+    """Merge a tile budget into a backend spec string.
+
+    The spec-level threading used by
+    :attr:`~repro.core.config.ClusteringConfig.effective_backend`: the
+    returned (normalised, lower-cased) spec carries ``block={block_items}``
+    wherever the tiled batch kernels will actually run --
+
+    * ``numpy`` / ``torch`` specs gain a trailing ``:block=N`` part unless
+      they already carry an explicit ``block=`` option (the more specific
+      spec-level option wins);
+    * ``sharded`` specs thread the budget into their *inner* backend spec
+      (resolving the default inner first), so worker processes inherit the
+      tile configuration through the shard payload's backend string;
+    * the ``python`` reference backend has no batch scratch blocks to
+      bound, so its spec is returned unchanged.
+
+    ``block_items=None`` leaves the spec untouched (backend default).
+    """
+    key = (spec or DEFAULT_BACKEND).lower()
+    if block_items is None:
+        return key
+    base, _, options = key.partition(":")
+    if base == "sharded":
+        parts = options.split(":") if options else []
+        workers = parts[0] if parts else ""
+        inner = ":".join(parts[1:]) if len(parts) > 1 else ""
+        if not inner:
+            inner = "numpy" if _numpy_importable() else "python"
+        return f"sharded:{workers}:{merge_block_option(inner, block_items)}"
+    if base not in ("numpy", "torch"):
+        return key
+    if options and any(
+        part.startswith("block=") for part in options.split(":")
+    ):
+        return key
+    return f"{key}:block={block_items}"
 
 
 def _load_numpy():
@@ -341,10 +477,19 @@ class NumpyBackend:
       used for the ``|match_gamma|`` and ``|tr1 ∪ tr2|`` set counts.
 
     The two directed gamma-match passes of Eq. 2 then become masked
-    row/column max-reductions over the gathered item-similarity block, and
-    one ``assign_all`` call evaluates a whole corpus against a whole
-    representative set with a handful of numpy operations per
-    representative.
+    row/column max-reductions over the gathered item-similarity block.
+    The batch kernels evaluate in *tiles*: contiguous groups of row and
+    column transactions whose item totals each stay within the configured
+    budget (``"numpy:block=N"``, default :data:`DEFAULT_BLOCK_ITEMS`,
+    ``block=0`` = unbounded), so several column transactions are fused
+    into one set of array reductions per tile -- fewer Python-loop
+    iterations than the historical one-column-at-a-time pass -- while peak
+    scratch memory stays bounded by the tile size instead of growing with
+    the corpus.  Tiling never changes a result: the fused reductions are
+    segment-wise max/any passes over the exact same gathered floats, so
+    every tile size is bit-exact with every other (and with the scalar
+    reference); :attr:`peak_scratch_entries` records the high-water scratch
+    block size actually materialised.
     """
 
     name = "numpy"
@@ -353,8 +498,30 @@ class NumpyBackend:
     #: (representative candidates churn quickly during refinement).
     TRANSIENT_CAP = 8192
 
-    def __init__(self, engine: "SimilarityEngine") -> None:
+    #: Default tile budget (items per tile side) when the spec carries no
+    #: ``block=`` option; see :data:`DEFAULT_BLOCK_ITEMS`.
+    DEFAULT_BLOCK_ITEMS = DEFAULT_BLOCK_ITEMS
+
+    def __init__(
+        self, engine: "SimilarityEngine", options: Optional[str] = None
+    ) -> None:
         self._np = _load_numpy()
+        rest, block_items = split_block_option(
+            options, f"numpy:{options}" if options else "numpy"
+        )
+        if rest:
+            raise ValueError(
+                f"invalid numpy backend options {options!r} "
+                "(expected 'numpy[:block=N]')"
+            )
+        #: Configured tile budget: ``None`` = backend default, ``0`` =
+        #: unbounded (untiled single-tile path), ``N`` = at most N row
+        #: items x N column items of scratch per tile.
+        self.block_items = block_items
+        #: High-water mark of batch-kernel scratch entries (elements of the
+        #: largest item-similarity block materialised so far); benchmarks
+        #: read this to demonstrate the tile-size memory bound.
+        self.peak_scratch_entries = 0
         self.engine = engine
         self.config = engine.config
         self.cache = engine.cache
@@ -572,10 +739,63 @@ class NumpyBackend:
         return block
 
     # ------------------------------------------------------------------ #
-    # Batch kernel
+    # Batch kernel (tiled)
     # ------------------------------------------------------------------ #
+    @property
+    def effective_block_items(self) -> Optional[int]:
+        """Resolved tile budget: ``None`` means unbounded (single tile).
+
+        The configured :attr:`block_items` with ``None`` resolved to the
+        backend default and the explicit ``0`` (untiled) selection resolved
+        to an unbounded budget.
+        """
+        block = (
+            self.DEFAULT_BLOCK_ITEMS
+            if self.block_items is None
+            else self.block_items
+        )
+        return None if block == 0 else block
+
+    @staticmethod
+    def _tile_spans(lengths: Sequence[int], budget: Optional[int]):
+        """Contiguous ``(start, stop)`` spans with item totals within *budget*.
+
+        Transactions are atomic -- a span always holds at least one, so a
+        single transaction larger than the budget forms its own span --
+        and consecutive, so every tiled reduction visits rows and columns
+        in exactly the input order.  ``budget=None`` returns one span
+        covering everything (the unbounded single-tile path).
+        """
+        count = len(lengths)
+        if not count:
+            return []
+        if budget is None:
+            return [(0, count)]
+        spans = []
+        start = 0
+        total = 0
+        for index, length in enumerate(lengths):
+            if index > start and total + length > budget:
+                spans.append((start, index))
+                start = index
+                total = 0
+            total += length
+        spans.append((start, count))
+        return spans
+
     def _pair_similarities(self, rows: Sequence[Transaction], columns: Sequence[Transaction]):
-        """Return the (len(rows), len(columns)) array of sim^gamma_J values."""
+        """Return the (len(rows), len(columns)) array of sim^gamma_J values.
+
+        Evaluated in ``(row_tile x column_tile)`` blocks: contiguous
+        groups of transactions whose item totals stay within
+        :attr:`effective_block_items` per side.  Several column
+        transactions are fused into one set of segment-wise reductions
+        per tile (``np.maximum.reduceat`` / ``np.logical_or.reduceat``
+        over the per-transaction item segments), which generalises the
+        historical one-column-at-a-time pass exactly: max/any reductions
+        are order-independent and the gathered floats are identical, so
+        every tile size produces the same bits.
+        """
         np = self._np
         f = self.config.f
         gamma = self.config.gamma
@@ -589,69 +809,151 @@ class NumpyBackend:
             return sims
 
         tp_matrix = self._ensure_tp_matrix()
-
-        # --- concatenate the non-empty row transactions ------------------- #
-        active = [compiled_rows[i] for i in row_positions]
-        lengths = np.array([c.length for c in active], dtype=np.intp)
-        offsets = np.zeros(len(active), dtype=np.intp)
-        np.cumsum(lengths[:-1], out=offsets[1:])
-        all_tp = np.concatenate([c.tag_path_ids for c in active])
-        all_uids = [c.uids for c in active]
+        active_rows = [compiled_rows[i] for i in row_positions]
+        active_columns = [compiled_columns[j] for j in column_positions]
 
         # --- content lookup block (skipped entirely when f == 1) ----------- #
+        # built once for the whole call: its size is bounded by the number
+        # of distinct content classes (schema-scale), not by the tiles
         if f != 1.0:
-            all_ck = np.concatenate([c.content_ids for c in active])
-            row_classes = np.unique(all_ck)
+            row_classes = np.unique(
+                np.concatenate([c.content_ids for c in active_rows])
+            )
             column_classes = np.unique(
-                np.concatenate([compiled_columns[j].content_ids for j in column_positions])
+                np.concatenate([c.content_ids for c in active_columns])
             )
             content, row_remap, column_remap = self._content_maps(
                 row_classes, column_classes
             )
-            all_ck_local = row_remap[all_ck]
 
-        row_arange = range(len(active))
-        for j in column_positions:
-            column = compiled_columns[j]
-            # item-similarity block: same arithmetic as the scalar Eq. 1,
-            # including the f == 0 / f == 1 short-circuits.
-            if f == 1.0:
-                block = tp_matrix[all_tp[:, None], column.tag_path_ids[None, :]]
-            elif f == 0.0:
-                block = content[all_ck_local[:, None], column_remap[column.content_ids][None, :]]
-            else:
-                structural = tp_matrix[all_tp[:, None], column.tag_path_ids[None, :]]
-                contentpart = content[
-                    all_ck_local[:, None], column_remap[column.content_ids][None, :]
+        budget = self.effective_block_items
+        row_spans = self._tile_spans([c.length for c in active_rows], budget)
+        column_spans = self._tile_spans(
+            [c.length for c in active_columns], budget
+        )
+
+        # per-column-tile data is row-independent: build it once instead of
+        # once per (row tile x column tile) pair
+        column_tiles = []
+        for column_start, column_stop in column_spans:
+            tile_columns = active_columns[column_start:column_stop]
+            column_lengths = np.array(
+                [c.length for c in tile_columns], dtype=np.intp
+            )
+            column_offsets = np.zeros(len(tile_columns), dtype=np.intp)
+            np.cumsum(column_lengths[:-1], out=column_offsets[1:])
+            column_tp = (
+                np.concatenate([c.tag_path_ids for c in tile_columns])
+                if f != 0.0
+                else None
+            )
+            column_ck = (
+                column_remap[
+                    np.concatenate([c.content_ids for c in tile_columns])
                 ]
-                block = f * structural + (1.0 - f) * contentpart
+                if f != 1.0
+                else None
+            )
+            column_tiles.append(
+                (
+                    column_start,
+                    tile_columns,
+                    column_lengths,
+                    column_offsets,
+                    column_tp,
+                    column_ck,
+                )
+            )
 
-            # direction tr -> rep: per representative item (column), the
-            # best row item(s) of each transaction segment.
-            column_max = np.maximum.reduceat(block, offsets, axis=0)
-            qualifying = column_max >= gamma
-            matched_rows = (
-                (block == np.repeat(column_max, lengths, axis=0))
-                & np.repeat(qualifying, lengths, axis=0)
-            ).any(axis=1)
-            # direction rep -> tr: per row item, its best representative
-            # item(s); a segment's column is matched when any of the
-            # segment's qualifying rows attains its maximum there.
-            row_max = block.max(axis=1)
-            row_qualifies = row_max >= gamma
-            hits = (block == row_max[:, None]) & row_qualifies[:, None]
-            matched_columns = np.logical_or.reduceat(hits, offsets, axis=0)
+        for row_start, row_stop in row_spans:
+            tile_rows = active_rows[row_start:row_stop]
+            lengths = np.array([c.length for c in tile_rows], dtype=np.intp)
+            offsets = np.zeros(len(tile_rows), dtype=np.intp)
+            np.cumsum(lengths[:-1], out=offsets[1:])
+            if f != 0.0:
+                row_tp = np.concatenate([c.tag_path_ids for c in tile_rows])
+            if f != 1.0:
+                row_ck = row_remap[
+                    np.concatenate([c.content_ids for c in tile_rows])
+                ]
+            for (
+                column_start,
+                tile_columns,
+                column_lengths,
+                column_offsets,
+                column_tp,
+                column_ck,
+            ) in column_tiles:
+                # item-similarity block: same arithmetic as the scalar
+                # Eq. 1, including the f == 0 / f == 1 short-circuits.
+                if f != 0.0:
+                    structural = tp_matrix[row_tp[:, None], column_tp[None, :]]
+                if f != 1.0:
+                    contentpart = content[row_ck[:, None], column_ck[None, :]]
+                if f == 1.0:
+                    block = structural
+                elif f == 0.0:
+                    block = contentpart
+                else:
+                    block = f * structural + (1.0 - f) * contentpart
+                if block.size > self.peak_scratch_entries:
+                    self.peak_scratch_entries = block.size
 
-            column_uids = column.uids
-            column_uid_set = column.uid_set
-            for position in row_arange:
-                start = offsets[position]
-                stop = start + lengths[position]
-                matched = set(all_uids[position][matched_rows[start:stop]].tolist())
-                matched.update(column_uids[matched_columns[position]].tolist())
-                union = len(active[position].uid_set | column_uid_set)
-                if union:
-                    sims[row_positions[position], j] = len(matched) / union
+                # direction tr -> rep: per representative item (column),
+                # the best row item(s) of each row-transaction segment; a
+                # row item is matched for a column transaction when any of
+                # that transaction's qualifying columns elects it.
+                column_max = np.maximum.reduceat(block, offsets, axis=0)
+                qualifying = column_max >= gamma
+                matched_row_items = np.logical_or.reduceat(
+                    (block == np.repeat(column_max, lengths, axis=0))
+                    & np.repeat(qualifying, lengths, axis=0),
+                    column_offsets,
+                    axis=1,
+                )
+                # direction rep -> tr: per row item, its best item(s)
+                # within each column-transaction segment; a segment's
+                # column is matched when any qualifying row attains its
+                # segment maximum there.
+                row_max = np.maximum.reduceat(block, column_offsets, axis=1)
+                row_qualifies = row_max >= gamma
+                matched_column_items = np.logical_or.reduceat(
+                    (block == np.repeat(row_max, column_lengths, axis=1))
+                    & np.repeat(row_qualifies, column_lengths, axis=1),
+                    offsets,
+                    axis=0,
+                )
+
+                for row_index, compiled_row in enumerate(tile_rows):
+                    row_slice = slice(
+                        offsets[row_index],
+                        offsets[row_index] + lengths[row_index],
+                    )
+                    row_uids = compiled_row.uids
+                    row_uid_set = compiled_row.uid_set
+                    sims_row = row_positions[row_start + row_index]
+                    for column_index, compiled_column in enumerate(tile_columns):
+                        column_slice = slice(
+                            column_offsets[column_index],
+                            column_offsets[column_index]
+                            + column_lengths[column_index],
+                        )
+                        matched = set(
+                            row_uids[
+                                matched_row_items[row_slice, column_index]
+                            ].tolist()
+                        )
+                        matched.update(
+                            compiled_column.uids[
+                                matched_column_items[row_index, column_slice]
+                            ].tolist()
+                        )
+                        union = len(row_uid_set | compiled_column.uid_set)
+                        if union:
+                            sims[
+                                sims_row,
+                                column_positions[column_start + column_index],
+                            ] = len(matched) / union
         return sims
 
     # ------------------------------------------------------------------ #
@@ -768,9 +1070,17 @@ class NumpyBackend:
     def score_candidates(
         self, cluster: Sequence[Transaction], candidates: Sequence[Transaction]
     ) -> List[float]:
-        """Per-candidate cohesion scores from one batched similarity block,
-        accumulated row by row so every float matches the reference
-        member-order sum bit-for-bit."""
+        """Per-candidate cohesion scores from tiled batched similarity
+        blocks, accumulated row by row so every float matches the reference
+        member-order sum bit-for-bit.
+
+        The cluster rows are processed in contiguous member-order tiles
+        (item totals within :attr:`effective_block_items`), so only one
+        ``(row_tile x candidates)`` similarity block is alive at a time --
+        peak memory stays bounded for arbitrarily large clusters -- while
+        the row-major accumulation order (hence every float) is identical
+        to the single-block path.
+        """
         candidates = list(candidates)
         if not candidates:
             return []
@@ -778,18 +1088,32 @@ class NumpyBackend:
         np = self._np
         totals = np.zeros(len(candidates), dtype=np.float64)
         if cluster:
-            sims = self._pair_similarities(cluster, candidates)
-            # accumulate row by row: per candidate the same left-to-right
-            # member-order sum as the reference loop, hence the same float
-            for row in sims:
-                totals = totals + row
+            spans = self._tile_spans(
+                [len(member.items) for member in cluster],
+                self.effective_block_items,
+            )
+            for start, stop in spans:
+                sims = self._pair_similarities(cluster[start:stop], candidates)
+                # accumulate row by row: per candidate the same
+                # left-to-right member-order sum as the reference loop
+                # (tiles are contiguous and in order), hence the same float
+                for row in sims:
+                    totals = totals + row
         return [float(total) for total in totals]
 
     def rank_items_batch(self, items: Sequence[TreeTupleItem]) -> List[float]:
         """Blended structural/content ranks of the whole pool: structural
         sums over the compiled tag-path matrix, content sums over the
-        memoised per-class cosine block (column-order accumulation keeps
-        every rank identical to the reference left-to-right sum)."""
+        memoised per-class cosine block.
+
+        Both gathers are evaluated in ``(row_tile x column_tile)`` blocks
+        of at most :attr:`effective_block_items` items per side, so peak
+        scratch stays bounded for arbitrarily large pools.  The structural
+        sums are integer-valued (path multiplicities), hence exact under
+        any tiling; the content accumulation walks the column tiles left
+        to right and the columns within each tile in order, replaying the
+        reference sequential sum so every rank is the same float.
+        """
         items = list(items)
         n = len(items)
         if not n:
@@ -797,6 +1121,8 @@ class NumpyBackend:
         np = self._np
         f = self.config.f
         gamma = self.config.gamma
+        budget = self.effective_block_items
+        item_spans = self._tile_spans([1] * n, budget)
 
         # --- structural ranking (per distinct complete path) --------------- #
         if f != 0.0:
@@ -812,15 +1138,29 @@ class NumpyBackend:
                 dtype=np.intp,
             )
             tp_matrix = self._ensure_tp_matrix()
-            structural = tp_matrix[item_tp[:, None], pool_tp[None, :]]
             counts = np.array(
                 [path_counts[path] for path in distinct_paths], dtype=np.float64
             )
-            # the masked sums are integer-valued, so they are exact in any
-            # summation order and match the scalar accumulation bit-for-bit
-            rank_s = np.where(structural >= gamma, counts[None, :], 0.0).sum(
-                axis=1
-            ) / len(distinct_paths)
+            path_spans = self._tile_spans([1] * len(distinct_paths), budget)
+            rank_s = np.zeros(n, dtype=np.float64)
+            for row_start, row_stop in item_spans:
+                partial = np.zeros(row_stop - row_start, dtype=np.float64)
+                for column_start, column_stop in path_spans:
+                    structural = tp_matrix[
+                        item_tp[row_start:row_stop, None],
+                        pool_tp[None, column_start:column_stop],
+                    ]
+                    if structural.size > self.peak_scratch_entries:
+                        self.peak_scratch_entries = structural.size
+                    # the masked sums are integer-valued, so they are exact
+                    # in any summation order (and under any tiling) and
+                    # match the scalar accumulation bit-for-bit
+                    partial = partial + np.where(
+                        structural >= gamma,
+                        counts[None, column_start:column_stop],
+                        0.0,
+                    ).sum(axis=1)
+                rank_s[row_start:row_stop] = partial / len(distinct_paths)
         else:
             rank_s = np.zeros(n, dtype=np.float64)
 
@@ -832,12 +1172,22 @@ class NumpyBackend:
             remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
             remap[present] = np.arange(len(present), dtype=np.intp)
             local = remap[class_ids]
-            cosines = block[local[:, None], local[None, :]]
-            # accumulate column by column so every rank is the same
-            # sequential left-to-right sum as the reference loop
             rank_c = np.zeros(n, dtype=np.float64)
-            for j in range(n):
-                rank_c = rank_c + cosines[:, j]
+            for row_start, row_stop in item_spans:
+                partial = np.zeros(row_stop - row_start, dtype=np.float64)
+                for column_start, column_stop in item_spans:
+                    cosines = block[
+                        local[row_start:row_stop, None],
+                        local[None, column_start:column_stop],
+                    ]
+                    if cosines.size > self.peak_scratch_entries:
+                        self.peak_scratch_entries = cosines.size
+                    # accumulate column by column so every rank is the same
+                    # sequential left-to-right sum as the reference loop
+                    # (tiles walk the columns in order)
+                    for j in range(cosines.shape[1]):
+                        partial = partial + cosines[:, j]
+                rank_c[row_start:row_stop] = partial
             empty = np.array([not item.vector for item in items], dtype=bool)
             rank_c[empty] = 0.0
         else:
@@ -872,6 +1222,9 @@ class ShardedBackend:
     The worker count and inner backend are selected through backend-name
     options: ``"sharded"`` uses one worker per CPU, ``"sharded:4"`` uses 4
     workers and ``"sharded:4:python"`` additionally pins the inner backend.
+    The inner spec may itself carry options (``"sharded:4:numpy:block=64"``),
+    which shard workers inherit through the shard payload's backend string
+    -- this is how the tile configuration reaches every worker process.
     Small row counts (below :data:`MIN_SHARD_ROWS`), a single worker, or any
     dispatch failure (unpicklable payloads, pool spawn failures -- e.g. when
     already inside a daemonic pool worker) fall back to the in-process inner
@@ -892,15 +1245,19 @@ class ShardedBackend:
 
     @staticmethod
     def _parse_options(options: Optional[str]) -> Tuple[int, str]:
+        """Parse ``"[workers][:inner-spec]"`` sharded options.
+
+        The inner spec may carry its own options (``"numpy:block=64"``);
+        it is validated through :func:`validate_backend_spec`, so unknown
+        inner names and malformed inner options raise the same errors as
+        a directly selected backend.  Nested sharding and torch inner
+        backends are rejected with dedicated messages.
+        """
         workers: Optional[int] = None
         inner = "numpy" if _numpy_importable() else "python"
+        explicit_inner = False
         if options:
             parts = options.split(":")
-            if len(parts) > 2:
-                raise ValueError(
-                    f"invalid sharded backend options {options!r} "
-                    "(expected 'sharded[:workers[:inner]]')"
-                )
             if parts[0]:
                 try:
                     workers = int(parts[0])
@@ -912,8 +1269,10 @@ class ShardedBackend:
                     raise ValueError(
                         f"sharded worker count must be positive, got {workers}"
                     )
-            if len(parts) > 1 and parts[1]:
-                inner = parts[1]
+            inner_spec = ":".join(parts[1:])
+            if inner_spec:
+                inner = inner_spec
+                explicit_inner = True
                 if inner.split(":")[0] == "sharded":
                     raise ValueError("the sharded backend cannot shard itself")
         if inner.split(":")[0] == "torch":
@@ -923,6 +1282,10 @@ class ShardedBackend:
                 "forked/spawned shard workers); select backend='torch' "
                 "directly instead of sharding it"
             )
+        if explicit_inner:
+            # single source of truth: the inner spec fails with exactly the
+            # errors a direct selection of that backend would raise
+            inner = validate_backend_spec(inner)
         if workers is None:
             import multiprocessing
 
@@ -1098,10 +1461,7 @@ def create_backend(name: Optional[str], engine: "SimilarityEngine") -> Similarit
     base, _, options = key.partition(":")
     factory = _REGISTRY.get(base)
     if factory is None:
-        raise ValueError(
-            f"unknown similarity backend: {name!r} "
-            f"(registered: {', '.join(sorted(_REGISTRY))})"
-        )
+        raise ValueError(_unknown_backend_message(name))
     if options:
         if not _factory_accepts_options(factory):
             raise ValueError(
@@ -1178,13 +1538,17 @@ def validate_backend_spec(spec: Optional[str]) -> str:
     spec fails where the user wrote it, not deep inside a fit:
 
     * unknown base names raise ``ValueError`` listing the registered
-      alternatives (same message as :func:`create_backend`);
+      alternatives (same message as :func:`create_backend` -- the single
+      source of truth the CLI and ``ClusteringConfig`` both surface);
     * options passed to an option-less backend raise ``ValueError``;
+    * malformed option values (``block=`` budgets, worker counts, torch
+      devices) raise ``ValueError`` naming the offending part;
     * backends whose optional dependency is missing -- or whose requested
       device is unusable (``torch:cuda`` on a CPU-only build) -- raise
       :class:`BackendUnavailableError` with an actionable message;
     * ``sharded`` options are parsed eagerly (worker counts, inner-backend
-      rules, the no-nested-torch rule).
+      rules incl. recursive inner-spec validation, the no-nested-torch
+      rule).
 
     Returns the normalised (lower-cased) spec.
     """
@@ -1192,16 +1556,19 @@ def validate_backend_spec(spec: Optional[str]) -> str:
     base, _, options = key.partition(":")
     factory = _REGISTRY.get(base)
     if factory is None:
-        raise ValueError(
-            f"unknown similarity backend: {spec!r} "
-            f"(registered: {', '.join(sorted(_REGISTRY))})"
-        )
+        raise ValueError(_unknown_backend_message(spec))
     if options and not _factory_accepts_options(factory):
         raise ValueError(
             f"similarity backend {base!r} accepts no options (got {options!r})"
         )
     if base == "numpy":
         _load_numpy()
+        rest, _ = split_block_option(options or None, key)
+        if rest:
+            raise ValueError(
+                f"invalid numpy backend options {options!r} "
+                "(expected 'numpy[:block=N]')"
+            )
     elif base == "torch":
         from repro.similarity.torch_backend import validate_torch_spec
 

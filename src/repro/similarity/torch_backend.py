@@ -11,7 +11,8 @@ configurable torch device.
 
 Device selection and dtype policy
 ---------------------------------
-The backend spec is ``"torch[:device]"``:
+The backend spec is ``"torch[:device][:block=N]"`` (the ``block=`` part
+configures the tile budget of the batched kernels, see *Tiling* below):
 
 * ``"torch"`` -- CPU, float64: **bit-exact** with the scalar reference.
   Every item similarity is gathered from the same scalar-function caches as
@@ -39,6 +40,22 @@ actionable message at *config-resolution time* (``ClusteringConfig`` /
 CLI ``--backend torch``), never deep inside a fit; the core install stays
 numpy-only.
 
+Tiling
+------
+Like the numpy engine, the tensor kernels evaluate in
+``(row_tile x column_tile)`` blocks whose row-item and column-item totals
+each stay within the configured budget (``block=N``; default
+:data:`~repro.similarity.backend.DEFAULT_BLOCK_ITEMS`, ``block=0`` =
+unbounded).  A tile fuses several column transactions into one padded 4-D
+gather + reduction -- far fewer host/device round trips than the
+historical one-column-at-a-time pass -- and bounds peak device scratch at
+roughly ``(row_tile_items_padded x column_tile_items_padded)`` elements
+per scratch tensor regardless of corpus size (padding rounds each
+transaction up to its tile's longest one).  Tiling is result-invariant:
+the masked ``amax``/``any`` reductions consume the same gathered floats
+per transaction pair for every tile size, so the CPU float64 bit-exactness
+and the accelerator tolerance policy above are unchanged.
+
 Sharding policy
 ---------------
 Torch runtimes must not be re-initialised inside multiprocessing pool
@@ -54,7 +71,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from repro.similarity.backend import BackendUnavailableError, NumpyBackend
+from repro.similarity.backend import (
+    BackendUnavailableError,
+    NumpyBackend,
+    split_block_option,
+)
 from repro.transactions.items import TreeTupleItem
 from repro.transactions.transaction import Transaction
 
@@ -123,15 +144,33 @@ def _resolve_device(torch, spec: Optional[str]):
     return device
 
 
+def _split_torch_options(options: Optional[str]) -> tuple:
+    """Split ``"[device][:block=N]"`` options into ``(device, block)``.
+
+    The ``block=`` part may appear before or after the device part;
+    anything beyond one device part raises ``ValueError``.
+    """
+    spec = f"torch:{options}" if options else "torch"
+    rest, block = split_block_option(options, spec)
+    if len(rest) > 1:
+        raise ValueError(
+            f"invalid torch backend options {options!r} "
+            "(expected 'torch[:device][:block=N]')"
+        )
+    return (rest[0] if rest else None), block
+
+
 def validate_torch_spec(options: Optional[str] = None) -> None:
-    """Validate a ``torch[:device]`` spec without building a backend.
+    """Validate a ``torch[:device][:block=N]`` spec without building a backend.
 
     Called by :func:`repro.similarity.backend.validate_backend_spec` (and
-    through it by ``ClusteringConfig`` and the CLI) so an uninstalled torch
-    or an unusable device fails at config-resolution time.
+    through it by ``ClusteringConfig`` and the CLI) so an uninstalled
+    torch, an unusable device or a malformed tile budget fails at
+    config-resolution time.
     """
+    device, _ = _split_torch_options(options)
     torch = _load_torch()
-    _resolve_device(torch, options)
+    _resolve_device(torch, device)
 
 
 class TorchBackend(NumpyBackend):
@@ -154,10 +193,14 @@ class TorchBackend(NumpyBackend):
 
     def __init__(self, engine: "SimilarityEngine", options: Optional[str] = None) -> None:
         torch = _load_torch()
+        device, block_items = _split_torch_options(options)
         super().__init__(engine)
+        # the tile budget is parsed from the torch option grammar
+        # (device and block parts may mix), not by the numpy parser
+        self.block_items = block_items
         self._torch = torch
-        self.device_spec = options or "cpu"
-        self.device = _resolve_device(torch, options)
+        self.device_spec = device or "cpu"
+        self.device = _resolve_device(torch, device)
         # MPS has no float64; everywhere else the kernels run in float64 so
         # CPU results are bit-exact with the scalar reference.
         self.dtype = torch.float32 if self.device.type == "mps" else torch.float64
@@ -191,17 +234,45 @@ class TorchBackend(NumpyBackend):
     # ------------------------------------------------------------------ #
     # Batch kernel
     # ------------------------------------------------------------------ #
-    def _pair_similarities(self, rows: Sequence[Transaction], columns: Sequence[Transaction]):
-        """The (rows x columns) ``sim^gamma_J`` block via padded tensors.
+    def _padded_ids(self, compiled_tile, values_of):
+        """Padded ``(transactions, max_items)`` id array for one tile.
 
-        The row transactions are padded into ``(rows, max_items)`` id
-        tensors with a validity mask; per representative column the item
-        block becomes one ``(rows, max_items, column_items)`` gather +
-        blend, and the two directed gamma-match passes of Eq. 2 are masked
-        ``amax``/``any`` reductions.  Matched-item and union counts reuse
-        the numpy backend's exact integer set arithmetic on the host, so
-        the returned float64 numpy matrix feeds the inherited entry points
-        unchanged.
+        *values_of* maps a compiled transaction to its per-item id array;
+        shorter transactions are zero-padded (pad slots are excluded from
+        every reduction through the validity masks).
+        """
+        np = self._np
+        width = max(c.length for c in compiled_tile)
+        padded = np.zeros((len(compiled_tile), width), dtype=np.intp)
+        for position, compiled in enumerate(compiled_tile):
+            padded[position, : compiled.length] = values_of(compiled)
+        return padded
+
+    def _tile_mask(self, compiled_tile):
+        """Device validity mask ``(transactions, max_items)`` for one tile."""
+        np = self._np
+        width = max(c.length for c in compiled_tile)
+        mask = np.zeros((len(compiled_tile), width), dtype=bool)
+        for position, compiled in enumerate(compiled_tile):
+            mask[position, : compiled.length] = True
+        return self._torch.as_tensor(mask).to(self.device)
+
+    def _pair_similarities(self, rows: Sequence[Transaction], columns: Sequence[Transaction]):
+        """The (rows x columns) ``sim^gamma_J`` block via padded tensor tiles.
+
+        Row and column transactions are partitioned into contiguous tiles
+        whose item totals stay within
+        :attr:`~repro.similarity.backend.NumpyBackend.effective_block_items`
+        per side; each ``(row_tile x column_tile)`` pair is padded into
+        ``(R, W_r)`` / ``(C, W_c)`` id tensors with validity masks and
+        evaluated as one 4-D ``(R, W_r, C, W_c)`` gather + blend, fusing
+        every column transaction of the tile into a single pair of masked
+        ``amax``/``any`` gamma-match reductions (Eq. 2).  Matched-item and
+        union counts reuse the numpy backend's exact integer set arithmetic
+        on the host, so the returned float64 numpy matrix feeds the
+        inherited entry points unchanged -- and because the reductions are
+        order-free over the same gathered floats, every tile size produces
+        the same bits.
         """
         np = self._np
         torch = self._torch
@@ -216,32 +287,18 @@ class TorchBackend(NumpyBackend):
         if not row_positions or not column_positions:
             return sims
 
-        active = [compiled_rows[i] for i in row_positions]
-        count = len(active)
-        width = max(c.length for c in active)
-
-        # --- padded row tensors (ids + validity mask) ---------------------- #
-        row_mask_np = np.zeros((count, width), dtype=bool)
-        for position, compiled in enumerate(active):
-            row_mask_np[position, : compiled.length] = True
-        row_mask = torch.as_tensor(row_mask_np).to(self.device)
+        active_rows = [compiled_rows[i] for i in row_positions]
+        active_columns = [compiled_columns[j] for j in column_positions]
 
         if f != 0.0:
             tp = self._tp_tensor()
-            row_tp_np = np.zeros((count, width), dtype=np.intp)
-            for position, compiled in enumerate(active):
-                row_tp_np[position, : compiled.length] = compiled.tag_path_ids
-            row_tp = self._index_tensor(row_tp_np)
-
         # --- content lookup block (skipped entirely when f == 1) ----------- #
         if f != 1.0:
             row_classes = np.unique(
-                np.concatenate([c.content_ids for c in active])
+                np.concatenate([c.content_ids for c in active_rows])
             )
             column_classes = np.unique(
-                np.concatenate(
-                    [compiled_columns[j].content_ids for j in column_positions]
-                )
+                np.concatenate([c.content_ids for c in active_columns])
             )
             content, row_remap, column_remap = self._content_maps(
                 row_classes, column_classes
@@ -249,77 +306,145 @@ class TorchBackend(NumpyBackend):
             content_t = torch.as_tensor(
                 content, dtype=self.dtype, device=self.device
             )
-            row_ck_np = np.zeros((count, width), dtype=np.intp)
-            for position, compiled in enumerate(active):
-                row_ck_np[position, : compiled.length] = row_remap[
-                    compiled.content_ids
-                ]
-            row_ck = self._index_tensor(row_ck_np)
 
-        pad_mask = ~row_mask.unsqueeze(-1)
-        for j in column_positions:
-            column = compiled_columns[j]
-            # item-similarity block: same arithmetic as the scalar Eq. 1,
-            # including the f == 0 / f == 1 short-circuits.
+        budget = self.effective_block_items
+        row_spans = self._tile_spans([c.length for c in active_rows], budget)
+        column_spans = self._tile_spans(
+            [c.length for c in active_columns], budget
+        )
+
+        # per-column-tile tensors (padded ids, validity mask, device
+        # uploads) are row-independent: build and upload them once instead
+        # of once per (row tile x column tile) pair
+        column_tiles = []
+        for column_start, column_stop in column_spans:
+            tile_columns = active_columns[column_start:column_stop]
+            column_tiles.append(
+                (
+                    column_start,
+                    tile_columns,
+                    self._tile_mask(tile_columns),
+                    self._index_tensor(
+                        self._padded_ids(tile_columns, lambda c: c.tag_path_ids)
+                    )
+                    if f != 0.0
+                    else None,
+                    self._index_tensor(
+                        self._padded_ids(
+                            tile_columns, lambda c: column_remap[c.content_ids]
+                        )
+                    )
+                    if f != 1.0
+                    else None,
+                )
+            )
+
+        for row_start, row_stop in row_spans:
+            tile_rows = active_rows[row_start:row_stop]
+            count = len(tile_rows)
+            row_mask = self._tile_mask(tile_rows)
             if f != 0.0:
-                column_tp = self._index_tensor(column.tag_path_ids)
-                structural = tp[row_tp.unsqueeze(-1), column_tp]
-            if f == 1.0:
-                block = structural
-            else:
-                column_ck = self._index_tensor(column_remap[column.content_ids])
-                contentpart = content_t[row_ck.unsqueeze(-1), column_ck]
-                if f == 0.0:
+                row_tp = self._index_tensor(
+                    self._padded_ids(tile_rows, lambda c: c.tag_path_ids)
+                )
+            if f != 1.0:
+                row_ck = self._index_tensor(
+                    self._padded_ids(
+                        tile_rows, lambda c: row_remap[c.content_ids]
+                    )
+                )
+            for (
+                column_start,
+                tile_columns,
+                column_mask,
+                column_tp,
+                column_ck,
+            ) in column_tiles:
+                # item-similarity block: same arithmetic as the scalar
+                # Eq. 1, including the f == 0 / f == 1 short-circuits.
+                if f != 0.0:
+                    structural = tp[
+                        row_tp.unsqueeze(-1).unsqueeze(-1), column_tp
+                    ]
+                if f != 1.0:
+                    contentpart = content_t[
+                        row_ck.unsqueeze(-1).unsqueeze(-1), column_ck
+                    ]
+                if f == 1.0:
+                    block = structural
+                elif f == 0.0:
                     block = contentpart
                 else:
                     block = f * structural + (1.0 - f) * contentpart
+                if block.numel() > self.peak_scratch_entries:
+                    self.peak_scratch_entries = block.numel()
 
-            masked = block.masked_fill(pad_mask, float("-inf"))
-            # direction tr -> rep: per representative item, the best row
-            # item(s) of each padded transaction row.
-            column_max = masked.amax(dim=1)
-            qualifying = column_max >= gamma
-            matched_rows = (
-                (block == column_max.unsqueeze(1))
-                & qualifying.unsqueeze(1)
-                & row_mask.unsqueeze(-1)
-            ).any(dim=2)
-            # direction rep -> tr: per row item, its best representative
-            # item(s); padded slots carry -inf maxima and never qualify.
-            row_max = masked.amax(dim=2)
-            row_qualifies = row_max >= gamma
-            matched_columns = (
-                (block == row_max.unsqueeze(-1)) & row_qualifies.unsqueeze(-1)
-            ).any(dim=1)
+                valid = row_mask.unsqueeze(-1).unsqueeze(-1) & column_mask
+                masked = block.masked_fill(~valid, float("-inf"))
+                # direction tr -> rep: per representative item, the best
+                # row item(s) of each padded transaction row; pad slots
+                # carry -inf maxima and are excluded through ``valid``.
+                column_max = masked.amax(dim=1)
+                qualifying = column_max >= gamma
+                matched_rows = (
+                    (block == column_max.unsqueeze(1))
+                    & qualifying.unsqueeze(1)
+                    & valid
+                ).any(dim=3)
+                # direction rep -> tr: per row item, its best item(s)
+                # within each column transaction of the tile.
+                row_max = masked.amax(dim=3)
+                row_qualifies = row_max >= gamma
+                matched_columns = (
+                    (block == row_max.unsqueeze(-1))
+                    & row_qualifies.unsqueeze(-1)
+                    & valid
+                ).any(dim=1)
 
-            matched_rows_np = matched_rows.cpu().numpy()
-            matched_columns_np = matched_columns.cpu().numpy()
-            column_uids = column.uids
-            column_uid_set = column.uid_set
-            for position in range(count):
-                compiled = active[position]
-                matched = set(
-                    compiled.uids[
-                        matched_rows_np[position, : compiled.length]
-                    ].tolist()
-                )
-                matched.update(column_uids[matched_columns_np[position]].tolist())
-                union = len(compiled.uid_set | column_uid_set)
-                if union:
-                    sims[row_positions[position], j] = len(matched) / union
+                matched_rows_np = matched_rows.cpu().numpy()
+                matched_columns_np = matched_columns.cpu().numpy()
+                for position in range(count):
+                    compiled = tile_rows[position]
+                    sims_row = row_positions[row_start + position]
+                    for column_index, column in enumerate(tile_columns):
+                        matched = set(
+                            compiled.uids[
+                                matched_rows_np[
+                                    position, : compiled.length, column_index
+                                ]
+                            ].tolist()
+                        )
+                        matched.update(
+                            column.uids[
+                                matched_columns_np[
+                                    position, column_index, : column.length
+                                ]
+                            ].tolist()
+                        )
+                        union = len(compiled.uid_set | column.uid_set)
+                        if union:
+                            sims[
+                                sims_row,
+                                column_positions[column_start + column_index],
+                            ] = len(matched) / union
         return sims
 
     # ------------------------------------------------------------------ #
     # Representative refinement (batch ranking)
     # ------------------------------------------------------------------ #
     def rank_items_batch(self, items: Sequence[TreeTupleItem]) -> List[float]:
-        """Blended structural/content ranks via device tensor reductions.
+        """Blended structural/content ranks via tiled device reductions.
 
-        The structural sums are integer-valued (path multiplicities), hence
-        exact in any reduction order; the content ranks replay the
-        reference left-to-right accumulation column by column, so on CPU
-        float64 every rank is bit-identical to the scalar loop (same
-        guarantee as the numpy backend, same memoised cosine block).
+        Both gathers walk the same ``(row_tile x column_tile)`` spans as
+        the numpy engine (at most
+        :attr:`~repro.similarity.backend.NumpyBackend.effective_block_items`
+        items per side), bounding peak device scratch for arbitrarily
+        large pools.  The structural sums are integer-valued (path
+        multiplicities), hence exact under any tiling; the content ranks
+        replay the reference left-to-right accumulation column by column
+        across the ordered tiles, so on CPU float64 every rank is
+        bit-identical to the scalar loop (same guarantee as the numpy
+        backend, same memoised cosine block).
         """
         items = list(items)
         n = len(items)
@@ -329,6 +454,8 @@ class TorchBackend(NumpyBackend):
         torch = self._torch
         f = self.config.f
         gamma = self.config.gamma
+        budget = self.effective_block_items
+        item_spans = self._tile_spans([1] * n, budget)
 
         # --- structural ranking (per distinct complete path) --------------- #
         if f != 0.0:
@@ -348,7 +475,7 @@ class TorchBackend(NumpyBackend):
                     dtype=np.intp,
                 )
             )
-            structural = self._tp_tensor()[item_tp.unsqueeze(-1), pool_tp]
+            tp_tensor = self._tp_tensor()
             counts = torch.as_tensor(
                 np.array(
                     [path_counts[path] for path in distinct_paths],
@@ -358,9 +485,27 @@ class TorchBackend(NumpyBackend):
                 device=self.device,
             )
             zero = torch.zeros((), dtype=self.dtype, device=self.device)
-            rank_s = torch.where(
-                structural >= gamma, counts.unsqueeze(0), zero
-            ).sum(dim=1) / len(distinct_paths)
+            path_spans = self._tile_spans([1] * len(distinct_paths), budget)
+            rank_s = torch.zeros(n, dtype=self.dtype, device=self.device)
+            for row_start, row_stop in item_spans:
+                partial = torch.zeros(
+                    row_stop - row_start, dtype=self.dtype, device=self.device
+                )
+                for column_start, column_stop in path_spans:
+                    structural = tp_tensor[
+                        item_tp[row_start:row_stop].unsqueeze(-1),
+                        pool_tp[column_start:column_stop],
+                    ]
+                    if structural.numel() > self.peak_scratch_entries:
+                        self.peak_scratch_entries = structural.numel()
+                    # integer-valued masked sums: exact in any reduction
+                    # order and under any tiling
+                    partial = partial + torch.where(
+                        structural >= gamma,
+                        counts[column_start:column_stop].unsqueeze(0),
+                        zero,
+                    ).sum(dim=1)
+                rank_s[row_start:row_stop] = partial / len(distinct_paths)
         else:
             rank_s = torch.zeros(n, dtype=self.dtype, device=self.device)
 
@@ -374,14 +519,25 @@ class TorchBackend(NumpyBackend):
             remap = np.zeros(len(self._content_exemplars), dtype=np.intp)
             remap[present] = np.arange(len(present), dtype=np.intp)
             local = self._index_tensor(remap[class_ids])
-            cosines = torch.as_tensor(block, dtype=self.dtype, device=self.device)[
-                local.unsqueeze(-1), local
-            ]
-            # accumulate column by column so every rank is the same
-            # sequential left-to-right sum as the reference loop
+            cosine_t = torch.as_tensor(block, dtype=self.dtype, device=self.device)
             rank_c = torch.zeros(n, dtype=self.dtype, device=self.device)
-            for j in range(n):
-                rank_c = rank_c + cosines[:, j]
+            for row_start, row_stop in item_spans:
+                partial = torch.zeros(
+                    row_stop - row_start, dtype=self.dtype, device=self.device
+                )
+                for column_start, column_stop in item_spans:
+                    cosines = cosine_t[
+                        local[row_start:row_stop].unsqueeze(-1),
+                        local[column_start:column_stop],
+                    ]
+                    if cosines.numel() > self.peak_scratch_entries:
+                        self.peak_scratch_entries = cosines.numel()
+                    # accumulate column by column so every rank is the same
+                    # sequential left-to-right sum as the reference loop
+                    # (tiles walk the columns in order)
+                    for j in range(cosines.shape[1]):
+                        partial = partial + cosines[:, j]
+                rank_c[row_start:row_stop] = partial
             empty = torch.as_tensor(
                 np.array([not entry.vector for entry in items], dtype=bool)
             ).to(self.device)

@@ -81,6 +81,90 @@ class TestBenchReport:
         assert not benchjson.validate_file(str(path))
 
 
+class TestReferenceSpeedup:
+    """The shared speedup-baseline policy of the bench scripts' records.
+
+    Regression (PR 5): with the python reference excluded via
+    ``--backends``, records used to carry a ratio against whatever backend
+    happened to run first -- presented in the stable schema slot that is
+    documented as "over the python reference".  The policy helper returns
+    an explicit ``None`` (null in the artifact) whenever no real baseline
+    was measured.
+    """
+
+    def test_speedup_over_the_measured_python_reference(self):
+        times = {"python": 1.0, "numpy": 0.1}
+        assert benchjson.reference_speedup(times, "numpy") == 10.0
+
+    def test_reference_row_itself_is_null(self):
+        times = {"python": 1.0, "numpy": 0.1}
+        assert benchjson.reference_speedup(times, "python") is None
+
+    def test_excluded_reference_yields_null_not_a_misleading_ratio(self):
+        # e.g. --backends numpy torch: no python baseline was measured
+        times = {"numpy": 0.1, "torch": 0.05}
+        assert benchjson.reference_speedup(times, "numpy") is None
+        assert benchjson.reference_speedup(times, "torch") is None
+
+    def test_unmeasured_backend_and_zero_timings_are_null(self):
+        assert benchjson.reference_speedup({"python": 1.0}, "numpy") is None
+        assert (
+            benchjson.reference_speedup({"python": 1.0, "numpy": 0.0}, "numpy")
+            is None
+        )
+
+    def test_custom_reference_name(self):
+        times = {"serial": 2.0, "sharded": 0.5}
+        assert (
+            benchjson.reference_speedup(times, "sharded", reference="serial")
+            == 4.0
+        )
+
+    def test_null_speedup_records_pass_validation(self):
+        """The validator accepts explicit-null speedups on non-reference
+        rows (what the scripts emit when python was excluded)."""
+        report = benchjson.BenchReport("bench_backend", reference="numpy")
+        report.record(
+            backend="numpy", op="assign_all", size=10, seconds=0.1
+        )
+        report.record(
+            backend="torch",
+            op="assign_all",
+            size=10,
+            seconds=0.05,
+            speedup=None,
+            parity=True,
+        )
+        assert benchjson.validate_report(report.as_dict()) == []
+
+
+class TestTrajectoryValidation:
+    """The committed ``BENCH_*.json`` trajectory format: an array of reports."""
+
+    def test_empty_trajectory_is_valid(self):
+        assert benchjson.validate_trajectory([]) == []
+
+    def test_array_of_valid_reports_is_valid(self, report):
+        assert benchjson.validate_trajectory([report.as_dict()] * 2) == []
+
+    def test_broken_entries_are_reported_with_their_index(self, report):
+        broken = report.as_dict()
+        broken["schema"] = "nope"
+        errors = benchjson.validate_trajectory([report.as_dict(), broken])
+        assert errors and all(error.startswith("entry[1]") for error in errors)
+
+    def test_non_array_trajectory_is_rejected(self):
+        assert benchjson.validate_trajectory({"schema": "x"})
+
+    def test_validate_file_detects_the_trajectory_shape(self, report, tmp_path):
+        trajectory = tmp_path / "BENCH_backend.json"
+        trajectory.write_text(json.dumps([report.as_dict()]))
+        assert benchjson.validate_file(str(trajectory)) == []
+        assert benchjson.main([str(trajectory)]) == 0
+        trajectory.write_text("[]")
+        assert benchjson.validate_file(str(trajectory)) == []
+
+
 class TestValidation:
     def test_valid_report_has_no_errors(self, report):
         assert benchjson.validate_report(report.as_dict()) == []

@@ -132,6 +132,90 @@ class TestRefineWorkersFlag:
             )
 
 
+class TestBackendSpecErrors:
+    """CLI and ClusteringConfig share one source of backend diagnostics."""
+
+    def test_unknown_backend_lists_the_same_alternatives_as_the_config(self):
+        """Regression (PR 5): with ``choices=`` gone from ``--backend``,
+        the CLI's unknown-spec error must carry exactly the registered
+        alternatives the ClusteringConfig path raises -- one message,
+        produced by ``validate_backend_spec``, surfaced by both."""
+        from repro.core.config import ClusteringConfig
+        from repro.similarity.backend import registered_backends
+
+        with pytest.raises(ValueError) as config_error:
+            ClusteringConfig(k=2, backend="bogus")
+        with pytest.raises(SystemExit) as cli_error:
+            main(["cluster", "--corpus", "DBLP", "--backend", "bogus"])
+        assert str(cli_error.value) == f"error: {config_error.value}"
+        for name in registered_backends():
+            assert name in str(cli_error.value)
+
+    def test_malformed_block_option_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="block"):
+            main(
+                [
+                    "cluster",
+                    "--corpus", "DBLP",
+                    "--backend", "numpy:block=nope",
+                ]
+            )
+
+    def test_batch_block_items_must_be_non_negative(self):
+        with pytest.raises(SystemExit, match="batch-block-items"):
+            main(
+                [
+                    "cluster",
+                    "--corpus", "DBLP",
+                    "--scale", "0.15",
+                    "--batch-block-items", "-1",
+                ]
+            )
+
+
+class TestBatchBlockItemsFlag:
+    def _cluster_output(self, capsys, extra):
+        arguments = [
+            "cluster",
+            "--corpus", "DBLP",
+            "--goal", "content",
+            "--algorithm", "xk",
+            "--scale", "0.15",
+            "--gamma", "0.7",
+            "--max-iterations", "3",
+            "--backend", "numpy",
+        ]
+        assert main(arguments + extra) == 0
+        output = capsys.readouterr().out
+        # timing lines vary run to run; everything else must be identical
+        return [
+            line
+            for line in output.splitlines()
+            if not line.startswith(("elapsed", "simulated"))
+        ]
+
+    def test_tiled_runs_are_bit_exact_with_untiled(self, capsys):
+        untiled = self._cluster_output(capsys, ["--batch-block-items", "0"])
+        tiled_flag = self._cluster_output(capsys, ["--batch-block-items", "7"])
+        tiled_spec = self._cluster_output(capsys, [])
+        assert tiled_flag == untiled
+        assert tiled_spec == untiled
+
+    def test_backend_spec_block_option_accepted(self, capsys):
+        arguments = [
+            "cluster",
+            "--corpus", "DBLP",
+            "--goal", "content",
+            "--algorithm", "xk",
+            "--scale", "0.15",
+            "--gamma", "0.7",
+            "--max-iterations", "3",
+            "--backend", "numpy:block=16",
+        ]
+        assert main(arguments) == 0
+        assert "numpy:block=16" in capsys.readouterr().out
+
+
 class TestExperimentCommands:
     def test_table1_structure_only(self, capsys):
         code = main(

@@ -126,6 +126,44 @@ class TestTagPathCache:
         cache.similarity(paths[0], paths[1])
         assert cache.misses == 0
 
+    def test_precompute_counts_precomputed_entries_not_misses(self):
+        """Regression: precompute must be visible in the statistics.
+
+        Entries inserted by precompute used to leave every counter at
+        zero, so run records with precompute on reported ``misses=0`` and
+        a meaningless 100% hit rate with no trace of the eager work; the
+        dedicated ``precomputed`` counter pins the real accounting.
+        """
+        cache = TagPathSimilarityCache()
+        paths = [XMLPath.parse(p) for p in ("a.b", "a.c", "d.e")]
+        cache.precompute(paths)
+        assert cache.stats() == {
+            "entries": 6,
+            "hits": 0,
+            "misses": 0,
+            "precomputed": 6,
+        }
+        # re-precomputing the same paths adds (and counts) nothing
+        cache.precompute(paths)
+        assert cache.stats()["precomputed"] == 6
+        # a lookup landing on a precomputed entry is a hit, not a miss
+        cache.similarity(paths[0], paths[1])
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 0
+        # a genuinely new pair still counts as a miss
+        cache.similarity(paths[0], XMLPath.parse("z.z"))
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["precomputed"] == 6
+
+    def test_precompute_extends_the_counter_for_new_paths_only(self):
+        cache = TagPathSimilarityCache()
+        cache.precompute([XMLPath.parse("a.b"), XMLPath.parse("a.c")])
+        assert cache.stats()["precomputed"] == 3
+        # a second precompute over a superset counts only the new pairs
+        cache.precompute(
+            [XMLPath.parse("a.b"), XMLPath.parse("a.c"), XMLPath.parse("d.e")]
+        )
+        assert cache.stats()["precomputed"] == 6
+
     def test_item_similarity_uses_tag_paths(self):
         cache = TagPathSimilarityCache()
         a = make_synthetic_item(XMLPath.parse("x.y.S"), "1")
@@ -137,8 +175,14 @@ class TestTagPathCache:
     def test_clear_resets_statistics(self):
         cache = TagPathSimilarityCache()
         cache.similarity(XMLPath.parse("a.b"), XMLPath.parse("a.b"))
+        cache.precompute([XMLPath.parse("a.b"), XMLPath.parse("a.c")])
         cache.clear()
-        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+        assert cache.stats() == {
+            "entries": 0,
+            "hits": 0,
+            "misses": 0,
+            "precomputed": 0,
+        }
 
 
 class TestCacheOrderIndependence:

@@ -138,8 +138,14 @@ class TestAvailability:
         with pytest.raises(BackendUnavailableError, match="pip install torch"):
             validate_backend_spec("torch")
 
+    def test_malformed_block_option_fails_even_without_torch(self, no_torch):
+        """Option-grammar errors surface before the import is attempted."""
+        with pytest.raises(ValueError, match="block"):
+            validate_backend_spec("torch:block=nope")
+
     def test_cli_fails_before_loading_any_corpus(self, no_torch, monkeypatch):
-        """--backend torch raises the actionable error at resolution time."""
+        """--backend torch exits cleanly (no traceback) at resolution time,
+        carrying the same actionable install guidance the library raises."""
         from repro import cli
 
         def fail_dataset(*args, **kwargs):  # pragma: no cover - must not run
@@ -148,7 +154,7 @@ class TestAvailability:
             )
 
         monkeypatch.setattr(cli, "get_dataset", fail_dataset)
-        with pytest.raises(BackendUnavailableError, match="pip install torch"):
+        with pytest.raises(SystemExit, match="pip install torch"):
             cli.main(["cluster", "--corpus", "DBLP", "--backend", "torch"])
 
     def test_cli_rejects_unknown_backends_with_alternatives(self):
@@ -257,6 +263,26 @@ class TestDeviceSpecs:
             pytest.skip("MPS is available on this host")
         with pytest.raises(BackendUnavailableError, match="torch:mps"):
             validate_backend_spec("torch:mps")
+
+    def test_block_option_parses_with_and_without_a_device(self):
+        engine = SimilarityEngine(
+            SimilarityConfig(), backend="torch:block=16"
+        )
+        backend = engine.backend
+        assert backend.device.type == "cpu"
+        assert backend.block_items == 16
+        mixed = SimilarityEngine(
+            SimilarityConfig(), backend="torch:cpu:block=8"
+        ).backend
+        assert mixed.device.type == "cpu"
+        assert mixed.block_items == 8
+        assert validate_backend_spec("torch:cpu:block=8") == "torch:cpu:block=8"
+
+    def test_malformed_block_option_raises_value_error(self):
+        with pytest.raises(ValueError, match="block"):
+            validate_backend_spec("torch:block=abc")
+        with pytest.raises(ValueError, match="invalid torch backend options"):
+            validate_backend_spec("torch:cpu:cuda:block=4")
 
 
 # --------------------------------------------------------------------------- #
@@ -400,6 +426,101 @@ class TestPropertyParity:
             cluster, torch_engine, representative_id="rep"
         )
         assert actual.items == expected.items
+
+
+# --------------------------------------------------------------------------- #
+# Tiled tensor kernels (bit-exact with the untiled numpy path)
+# --------------------------------------------------------------------------- #
+@needs_torch
+class TestTiledParity:
+    """Every tile budget reproduces the untiled numpy results bit for bit.
+
+    The 4-D padded tile kernel fuses several column transactions per
+    reduction; these tests sweep pathological (1, 2), misaligned (7) and
+    oversized (>= corpus) budgets against the ``numpy:block=0`` baseline
+    (itself pinned to the python reference by ``test_tiled_backend.py``).
+    """
+
+    TILE_SIZES = (1, 2, 7, 10_000)
+
+    @pytest.fixture(scope="class")
+    def dblp_small(self):
+        from repro.datasets.registry import get_dataset
+
+        return get_dataset("DBLP", scale=0.2, seed=0)
+
+    def _engine(self, spec, f=0.5, gamma=0.8):
+        return SimilarityEngine(
+            SimilarityConfig(f=f, gamma=gamma),
+            cache=TagPathSimilarityCache(),
+            backend=spec,
+        )
+
+    @pytest.mark.parametrize("f", [0.0, 0.5, 1.0])
+    def test_corpus_parity_across_tile_sizes(self, dblp_small, f):
+        transactions = dblp_small.transactions
+        representatives = transactions[:5]
+        pool = [entry for tr in transactions[:8] for entry in tr.items]
+        untiled = self._engine("numpy:block=0", f=f)
+        expected_pairwise = untiled.pairwise_transaction_similarity(
+            transactions, representatives
+        )
+        expected_assign = untiled.assign_all(transactions, representatives)
+        expected_scores = untiled.score_candidates(
+            transactions[:12], representatives
+        )
+        expected_ranks = untiled.rank_items_batch(pool)
+        for block in self.TILE_SIZES:
+            tiled = self._engine(f"torch:block={block}", f=f)
+            assert (
+                tiled.pairwise_transaction_similarity(
+                    transactions, representatives
+                )
+                == expected_pairwise
+            )
+            assert tiled.assign_all(transactions, representatives) == expected_assign
+            assert (
+                tiled.score_candidates(transactions[:12], representatives)
+                == expected_scores
+            )
+            assert tiled.rank_items_batch(pool) == expected_ranks
+
+    def test_tiled_scratch_is_bounded(self, dblp_small):
+        transactions = dblp_small.transactions
+        tiled = self._engine("torch:block=8")
+        tiled.pairwise_transaction_similarity(transactions, transactions[:6])
+        bounded = tiled.backend.peak_scratch_entries
+        untiled = self._engine("torch:block=0")
+        untiled.pairwise_transaction_similarity(transactions, transactions[:6])
+        # padding rounds each transaction up to its tile's longest one, so
+        # the bound is (padded row items) x (padded column items) -- far
+        # below the unbounded single-tile block on a real corpus
+        assert bounded < untiled.backend.peak_scratch_entries
+
+    def test_empty_rows_and_columns_survive_tiling(self):
+        transactions = [
+            make_transaction("e1", []),
+            make_transaction(
+                "t1", [item("r.a.S", "x", SparseVector({1: 1.0}))]
+            ),
+            make_transaction("e2", []),
+            make_transaction(
+                "t2",
+                [
+                    item("r.a.S", "x", SparseVector({1: 1.0})),
+                    item("r.b.S", "y"),
+                ],
+            ),
+        ]
+        expected = self._engine("numpy:block=0").pairwise_transaction_similarity(
+            transactions, transactions
+        )
+        for block in self.TILE_SIZES:
+            tiled = self._engine(f"torch:block={block}")
+            assert (
+                tiled.pairwise_transaction_similarity(transactions, transactions)
+                == expected
+            )
 
 
 # --------------------------------------------------------------------------- #
