@@ -228,9 +228,64 @@ def validate_file(path: str) -> List[str]:
     return validate_report(data)
 
 
+def append_report(report_path: str, trajectory_path: str) -> List[str]:
+    """Validate *report_path* and append it to the trajectory file.
+
+    The single supported way of growing a committed ``BENCH_*.json``
+    trajectory: the report is schema-validated first, the trajectory (an
+    array of report objects; a missing file counts as an empty trajectory)
+    is validated before and after the append, and nothing is written
+    unless every check passes.  Returns the violations found (empty list =
+    appended successfully).
+    """
+    try:
+        with open(report_path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"cannot read {report_path}: {error}"]
+    errors = [f"{report_path}: {e}" for e in validate_report(report)]
+    if errors:
+        return errors
+    try:
+        with open(trajectory_path, "r", encoding="utf-8") as handle:
+            trajectory = json.load(handle)
+    except FileNotFoundError:
+        trajectory = []
+    except (OSError, ValueError) as error:
+        return [f"cannot read {trajectory_path}: {error}"]
+    errors = [f"{trajectory_path}: {e}" for e in validate_trajectory(trajectory)]
+    if errors:
+        return errors
+    trajectory.append(report)
+    with open(trajectory_path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return []
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Validate the artifacts named on the command line (CI gate)."""
+    """Validate (or ``append``) the artifacts named on the command line.
+
+    ``benchjson.py REPORT.json [...]`` validates each artifact (CI gate);
+    ``benchjson.py append REPORT.json TRAJECTORY.json`` validates the
+    report and appends it to the trajectory array.  Exit codes: 0 = ok,
+    1 = validation failure, 2 = usage error.
+    """
     paths = list(sys.argv[1:] if argv is None else argv)
+    if paths and paths[0] == "append":
+        if len(paths) != 3:
+            print(
+                "usage: python benchmarks/benchjson.py append "
+                "REPORT.json TRAJECTORY.json"
+            )
+            return 2
+        errors = append_report(paths[1], paths[2])
+        if errors:
+            for error in errors:
+                print(f"INVALID: {error}")
+            return 1
+        print(f"appended {paths[1]} to {paths[2]}")
+        return 0
     if not paths:
         print("usage: python benchmarks/benchjson.py REPORT.json [...]")
         return 2

@@ -74,6 +74,17 @@ class ClusteringConfig:
         executor); phases dispatched into worker processes are daemonic
         and cannot nest pools, so their budget resolves to 1
         (:func:`~repro.network.mpengine.phase_refinement_config`).
+    corpus_cache_dir:
+        Directory of the persistent compiled-corpus store
+        (:mod:`repro.similarity.corpus_store`), default off (``None``).
+        When set, experiment runs export the compiled corpus (tag-path
+        matrix, item id arrays, content-class registries) to a
+        fingerprinted on-disk layout under this directory on the first
+        fit, and later fits of the same corpus + similarity configuration
+        attach the arrays zero-copy via ``np.load(mmap_mode="r")`` instead
+        of recompiling -- shard worker processes and simulated peers then
+        share one set of mapped pages.  Backends without compiled corpora
+        (the ``python`` reference) ignore the setting.
     """
 
     k: int
@@ -84,6 +95,7 @@ class ClusteringConfig:
     backend: str = "python"
     batch_block_items: Optional[int] = None
     refine_workers: Optional[int] = None
+    corpus_cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -202,3 +214,9 @@ class ClusteringConfig:
     def with_refine_workers(self, refine_workers: Optional[int]) -> "ClusteringConfig":
         """Return a copy with a different refinement worker budget."""
         return replace(self, refine_workers=refine_workers)
+
+    def with_corpus_cache_dir(
+        self, corpus_cache_dir: Optional[str]
+    ) -> "ClusteringConfig":
+        """Return a copy with a different compiled-corpus store directory."""
+        return replace(self, corpus_cache_dir=corpus_cache_dir)

@@ -37,12 +37,12 @@ from repro.core.seeding import partition_cluster_ids, select_seed_transactions
 from repro.network.costmodel import CostModel
 from repro.network.message import Message, MessageKind, representative_payload
 from repro.network.mpengine import (
-    RefinementShard,
     SerialExecutor,
-    inprocess_backend_name,
+    make_refinement_shard,
     phase_refinement_config,
     process_engine,
     refine_clusters,
+    store_process_engine,
 )
 from repro.network.peer import make_peers
 from repro.network.simnet import SimulatedNetwork
@@ -56,12 +56,18 @@ from repro.transactions.transaction import Transaction
 # --------------------------------------------------------------------------- #
 @dataclass
 class LocalPhaseInput:
-    """Input of one peer's local phase for one collaborative round."""
+    """Input of one peer's local phase for one collaborative round.
+
+    ``store_dir`` names the persistent compiled-corpus store shared by the
+    simulated network (None without one); worker processes executing the
+    phase attach it instead of recompiling their partition per process.
+    """
 
     peer_id: int
     transactions: List[Transaction]
     global_representatives: List[Transaction]
     config: ClusteringConfig
+    store_dir: Optional[str] = None
 
 
 @dataclass
@@ -119,9 +125,23 @@ def run_local_phase(
     """
     start = time.perf_counter()
     config = phase_input.config
-    local_engine = engine or process_engine(
-        config.similarity, config.effective_backend
-    )
+    local_engine = engine
+    if local_engine is None:
+        if phase_input.store_dir is not None:
+            # worker processes of a store-backed run share the on-disk
+            # compiled corpus instead of recompiling their partition
+            try:
+                local_engine = store_process_engine(
+                    config.similarity,
+                    config.effective_backend,
+                    phase_input.store_dir,
+                )
+            except Exception:
+                local_engine = None
+        if local_engine is None:
+            local_engine = process_engine(
+                config.similarity, config.effective_backend
+            )
     representatives = phase_input.global_representatives
     k = len(representatives)
     transactions = phase_input.transactions
@@ -151,11 +171,10 @@ def run_local_phase(
     # bit-exact, merged in cluster-index order by refine_clusters).
     cluster_sizes = [len(members) for members in clusters]
     shards = [
-        RefinementShard(
+        make_refinement_shard(
+            local_engine,
             cluster_index=cluster_index,
             members=members,
-            similarity=config.similarity,
-            backend=inprocess_backend_name(local_engine),
             representative_id=f"rep:local:{phase_input.peer_id}:{cluster_index}",
             max_items=config.max_representative_items,
         )
@@ -306,10 +325,16 @@ class CXKMeans:
         refine_budget = self.config.effective_refine_workers
         phase_config = phase_refinement_config(self.config, self.executor, m)
         responsibilities = partition_cluster_ids(k, m)
+        # one attached compiled-corpus store (when the runner prepared one)
+        # is shared by the whole simulated network: serial peers through the
+        # shared engine, worker-process phases through its directory handle
+        store = getattr(self._engine.backend, "attached_store", None)
+        store_dir = str(store.directory) if store is not None else None
         peers = make_peers(
             partitions,
             responsibilities,
             engine=self._engine if use_shared_engine else None,
+            store=store,
         )
         network = SimulatedNetwork(peers, cost_model=self.cost_model)
         with network.round():
@@ -369,6 +394,7 @@ class CXKMeans:
                     transactions=peer.transactions,
                     global_representatives=ordered_representatives,
                     config=phase_config,
+                    store_dir=store_dir,
                 )
                 for peer in peers
             ]
@@ -460,12 +486,11 @@ class CXKMeans:
                             # still attract transactions later
                             continue
                         shards.append(
-                            RefinementShard(
+                            make_refinement_shard(
+                                peer_engine,
                                 cluster_index=cluster_id,
                                 members=[rep for rep, _ in weighted],
                                 weights=[weight for _, weight in weighted],
-                                similarity=self.config.similarity,
-                                backend=inprocess_backend_name(peer_engine),
                                 representative_id=f"rep:global:{cluster_id}",
                                 max_items=self.config.max_representative_items,
                             )

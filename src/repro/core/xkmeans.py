@@ -18,8 +18,7 @@ from repro.core.representatives import representatives_equal
 from repro.core.results import ClusteringResult, build_result
 from repro.core.seeding import select_seed_transactions
 from repro.network.mpengine import (
-    RefinementShard,
-    inprocess_backend_name,
+    make_refinement_shard,
     refine_clusters,
 )
 from repro.similarity.cache import TagPathSimilarityCache
@@ -127,11 +126,10 @@ class XKMeans:
             # refinement workers when the configuration grants them (the
             # same cluster-sharded path used by the distributed algorithms)
             shards = [
-                RefinementShard(
+                make_refinement_shard(
+                    self.engine,
                     cluster_index=index,
                     members=members,
-                    similarity=self.config.similarity,
-                    backend=inprocess_backend_name(self.engine),
                     representative_id=f"rep:{index}",
                     max_items=self.config.max_representative_items,
                 )

@@ -74,6 +74,18 @@ PROFILES: Dict[str, CorpusProfile] = {
 #: Canonical corpus ordering used by reports (same order as the paper).
 DATASET_NAMES: List[str] = ["DBLP", "IEEE", "Shakespeare", "Wikipedia"]
 
+#: Named corpus scales for the backend size-sweep benchmark
+#: (``bench_backend.py --size-sweep``): each maps a label to the ``scale``
+#: passed into :func:`get_dataset`, spanning roughly one decade of corpus
+#: sizes so the python -> numpy -> sharded -> torch crossovers (and the
+#: cold-compile vs warm-attach gap of the compiled-corpus store) are all
+#: visible in one sweep.
+SIZE_SWEEP_SCALES: Dict[str, float] = {
+    "scale-1": 1.0,
+    "scale-5": 5.0,
+    "scale-20": 20.0,
+}
+
 
 def profile(name: str) -> CorpusProfile:
     """Return the :class:`CorpusProfile` of *name* (case-insensitive)."""

@@ -49,6 +49,8 @@ class Figure7Config:
     #: Worker processes for cluster-sharded representative refinement
     #: (``None`` keeps the serial refinement path).
     refine_workers: Optional[int] = None
+    #: Directory of the persistent compiled-corpus store (``None`` = off).
+    corpus_cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -105,6 +107,7 @@ def run_figure7(config: Optional[Figure7Config] = None) -> Figure7Result:
                 backend=config.backend,
                 batch_block_items=config.batch_block_items,
                 refine_workers=config.refine_workers,
+                corpus_cache_dir=config.corpus_cache_dir,
             )
             aggregates = sweep.run()
             runtime = pivot(aggregates, value="simulated_seconds")

@@ -44,6 +44,8 @@ class Figure8Config:
     #: Worker processes for cluster-sharded representative refinement
     #: (``None`` keeps the serial refinement path).
     refine_workers: Optional[int] = None
+    #: Directory of the persistent compiled-corpus store (``None`` = off).
+    corpus_cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -122,6 +124,7 @@ def run_figure8(config: Optional[Figure8Config] = None) -> Figure8Result:
             backend=config.backend,
             batch_block_items=config.batch_block_items,
             refine_workers=config.refine_workers,
+            corpus_cache_dir=config.corpus_cache_dir,
         )
         aggregates = sweep.run()
         for dataset, series in pivot(aggregates, value="simulated_seconds").items():

@@ -114,22 +114,27 @@ def make_algorithm(
     raise ValueError(f"unknown algorithm: {name}")
 
 
-def precompute_similarity(algo, transactions) -> Dict[str, int]:
-    """Populate the algorithm engine's caches up front (Sec. 4.3.2).
+def precompute_similarity(algo, transactions) -> Dict[str, object]:
+    """Prepare the algorithm engine's corpus up front (Sec. 4.3.2).
 
-    Precomputes every pairwise tag-path structural similarity over the
+    Without a configured corpus store this is the historical warm-up:
+    precompute every pairwise tag-path structural similarity over the
     corpus' distinct maximal tag paths -- the strategy the paper's
-    complexity analysis prescribes instead of lazy filling -- and compiles
+    complexity analysis prescribes instead of lazy filling -- and compile
     the corpus into the similarity backend (a no-op for the reference
-    backend).  Returns the cache statistics right after precomputation.
+    backend).  When the algorithm's configuration names a
+    ``corpus_cache_dir``, the persistent compiled-corpus store takes over
+    (:func:`repro.similarity.corpus_store.prepare_engine_corpus`): a warm
+    store attach skips both steps entirely.  Returns the store status
+    dictionary (``store`` is ``"off"`` on the historical path).
     """
-    engine = algo.engine
-    tag_paths = {
-        item.tag_path for transaction in transactions for item in transaction.items
-    }
-    engine.cache.precompute(tag_paths)
-    engine.backend.compile_corpus(transactions)
-    return engine.cache.stats()
+    from repro.similarity.corpus_store import prepare_engine_corpus
+
+    return prepare_engine_corpus(
+        algo.engine,
+        transactions,
+        cache_dir=getattr(algo.config, "corpus_cache_dir", None),
+    )
 
 
 def run_configuration(
@@ -147,6 +152,7 @@ def run_configuration(
     backend: str = "python",
     batch_block_items: Optional[int] = None,
     refine_workers: Optional[int] = None,
+    corpus_cache_dir: Optional[str] = None,
 ) -> RunRecord:
     """Run one clustering configuration and score it against the ground truth."""
     labeling = GOAL_LABELING[goal]
@@ -161,6 +167,7 @@ def run_configuration(
         backend=backend,
         batch_block_items=batch_block_items,
         refine_workers=refine_workers,
+        corpus_cache_dir=corpus_cache_dir,
     )
     algo = make_algorithm(algorithm, config, cost_model=cost_model)
     try:
@@ -261,6 +268,10 @@ class ExperimentSweep:
     #: Worker processes for cluster-sharded representative refinement
     #: (``None`` keeps the serial refinement path).
     refine_workers: Optional[int] = None
+    #: Directory of the persistent compiled-corpus store (``None`` = off);
+    #: every sweep cell over the same (dataset, scale, similarity) reuses
+    #: one exported compilation instead of recompiling per run.
+    corpus_cache_dir: Optional[str] = None
 
     def effective_f_values(self) -> List[float]:
         if self.f_values is not None:
@@ -294,6 +305,7 @@ class ExperimentSweep:
                                 backend=self.backend,
                                 batch_block_items=self.batch_block_items,
                                 refine_workers=self.refine_workers,
+                                corpus_cache_dir=self.corpus_cache_dir,
                             )
                         )
                 aggregates.append(aggregate_records(records))

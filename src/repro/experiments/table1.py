@@ -61,6 +61,8 @@ class AccuracyTableConfig:
     #: Worker processes for cluster-sharded representative refinement
     #: (``None`` keeps the serial refinement path).
     refine_workers: Optional[int] = None
+    #: Directory of the persistent compiled-corpus store (``None`` = off).
+    corpus_cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -122,6 +124,7 @@ def run_accuracy_table(config: Optional[AccuracyTableConfig] = None) -> Accuracy
             backend=config.backend,
             batch_block_items=config.batch_block_items,
             refine_workers=config.refine_workers,
+            corpus_cache_dir=config.corpus_cache_dir,
         )
         aggregates = sweep.run()
         tables[goal] = pivot(aggregates, value="f_measure")

@@ -45,10 +45,12 @@ backend, so sharded results are identical to serial ones.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import multiprocessing
 import os
 import pickle
 import sys
+import tempfile
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -79,6 +81,129 @@ def process_engine(similarity: SimilarityConfig, backend: str = "python") -> Sim
 def clear_process_engines() -> None:
     """Drop every cached per-process engine (used by tests)."""
     _PROCESS_ENGINES.clear()
+    _STORE_ENGINES.clear()
+
+
+#: Per-process *store-attached* engines, keyed by (similarity config,
+#: backend name, store directory).  Kept separate from
+#: :data:`_PROCESS_ENGINES` so storeless dispatch keeps its historical
+#: cache shape; a worker that serves both store-backed and inline shards
+#: holds one engine per cache.
+_STORE_ENGINES: Dict[Tuple[SimilarityConfig, str, str], SimilarityEngine] = {}
+
+
+def store_process_engine(
+    similarity: SimilarityConfig, backend: str, store_dir: str
+) -> SimilarityEngine:
+    """Return this process' shared engine attached to the store at
+    *store_dir*.
+
+    Built once per (similarity config, backend, store directory) and kept
+    alive across rounds, exactly like :func:`process_engine`; on first
+    construction the store is resolved through the process-wide store
+    cache and zero-copy attached to the engine's backend, so every worker
+    process maps the same on-disk pages instead of recompiling the corpus.
+    Backends without compiled corpora (the python reference) simply skip
+    the attach -- shard row resolution still works through the store.
+    """
+    key = (similarity, backend, store_dir)
+    engine = _STORE_ENGINES.get(key)
+    if engine is None:
+        # imported lazily: corpus_store sits above this module (it imports
+        # the backend layer), so a top-level import would be circular for
+        # readers following the layer graph
+        from repro.similarity.corpus_store import cached_store
+
+        engine = SimilarityEngine(
+            similarity, cache=TagPathSimilarityCache(), backend=backend
+        )
+        store = cached_store(store_dir)
+        attach = getattr(engine.backend, "attach_store", None)
+        if attach is not None:
+            attach(store)
+        _STORE_ENGINES[key] = engine
+    return engine
+
+
+# --------------------------------------------------------------------------- #
+# Round payloads (send shared shard data once per dispatch)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PayloadRef:
+    """Content-addressed reference to a published round payload.
+
+    Shards of one dispatch share large read-only data (the representative
+    set of an assignment round): instead of pickling it once per shard,
+    the dispatcher publishes it once (:func:`publish_round_payload`) and
+    every shard carries this tiny reference.  The digest both addresses
+    the worker-side cache and integrity-checks the file read.
+    """
+
+    path: str
+    digest: str
+
+
+#: Worker-side cache of loaded round payloads, keyed by content digest --
+#: every shard of a round resolves to one deserialisation per process.
+_ROUND_PAYLOADS: Dict[str, Any] = {}
+
+#: Loaded payloads kept per process before the cache is reset (rounds
+#: supersede each other quickly; a tiny cap bounds worker memory).
+_ROUND_PAYLOAD_CAP = 16
+
+
+def publish_round_payload(payload: Any) -> Optional[PayloadRef]:
+    """Write *payload* once for all shards of a dispatch; None on failure.
+
+    The pickle is written to a private temp file and addressed by its
+    sha256, so workers can verify they read exactly what was published.
+    A ``None`` return (unwritable temp dir, unpicklable payload) tells the
+    dispatcher to fall back to inlining the payload per shard.
+    """
+    try:
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(data).hexdigest()
+        handle, path = tempfile.mkstemp(prefix="repro-round-", suffix=".pkl")
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+    except (OSError, pickle.PicklingError):
+        return None
+    return PayloadRef(path=path, digest=digest)
+
+
+def load_round_payload(ref: PayloadRef) -> Any:
+    """Load (or reuse) the published payload *ref* in this process.
+
+    Raises when the file is gone or its content does not match the
+    digest -- the strict shard dispatch turns that into the caller's
+    in-process fallback rather than computing with corrupt data.
+    """
+    cached = _ROUND_PAYLOADS.get(ref.digest)
+    if cached is not None:
+        return cached
+    with open(ref.path, "rb") as stream:
+        data = stream.read()
+    digest = hashlib.sha256(data).hexdigest()
+    if digest != ref.digest:
+        raise RuntimeError(
+            f"round payload {ref.path} digest mismatch "
+            f"(expected {ref.digest[:12]}, got {digest[:12]})"
+        )
+    payload = pickle.loads(data)
+    if len(_ROUND_PAYLOADS) >= _ROUND_PAYLOAD_CAP:
+        _ROUND_PAYLOADS.clear()
+    _ROUND_PAYLOADS[ref.digest] = payload
+    return payload
+
+
+def discard_round_payload(ref: Optional[PayloadRef]) -> None:
+    """Remove a published payload file (dispatch has completed)."""
+    if ref is None:
+        return
+    try:
+        os.unlink(ref.path)
+    except OSError:
+        pass
 
 
 @dataclass
@@ -90,25 +215,67 @@ class AssignmentShard:
     shard carries everything a worker process needs to evaluate its block
     independently: the rows, the full representative set, the similarity
     configuration and the name of the in-process backend to evaluate with.
+
+    Two payload optimisations keep the per-shard pickle small and
+    constant-sized:
+
+    * with an attached corpus store the rows travel as ``store_dir`` plus
+      ``store_rows`` (row ids into the store's corpus) and
+      ``transactions`` is None -- the worker resolves them against its
+      process-wide store handle;
+    * the representative set of a round travels once per dispatch as a
+      published :class:`PayloadRef` (``representatives_ref``) instead of
+      once per shard; ``representatives`` is None in that case.
+
+    Shards built without a store (or when publishing fails) inline both
+    fields exactly as before -- the graceful pickle fallback.
     """
 
-    transactions: List[Transaction]
-    representatives: List[Transaction]
+    transactions: Optional[List[Transaction]]
+    representatives: Optional[List[Transaction]]
     similarity: SimilarityConfig
     backend: str
+    store_dir: Optional[str] = None
+    store_rows: Optional[List[int]] = None
+    representatives_ref: Optional[PayloadRef] = None
+
+
+def _shard_representatives(shard) -> List[Transaction]:
+    """Resolve a shard's representative set (inline or round payload)."""
+    if shard.representatives_ref is not None:
+        return load_round_payload(shard.representatives_ref)
+    return shard.representatives
+
+
+def _store_transactions(store_dir: str, rows: Sequence[int]) -> List[Transaction]:
+    """Resolve store row ids to transactions via the process store cache."""
+    from repro.similarity.corpus_store import cached_store
+
+    corpus = cached_store(store_dir).transactions()
+    return [corpus[row] for row in rows]
 
 
 def assign_shard(shard: AssignmentShard) -> List[Tuple[int, float]]:
     """Worker entry point of the sharded backend (module-level, picklable).
 
     Evaluates one row block against the full representative set on this
-    process' cached engine (:func:`process_engine`), so a pool worker keeps
-    its tag-path cache and compiled corpus across assignment rounds.  The
-    per-row results come back in row order; the caller concatenates the
-    blocks in shard order, which makes the merged assignment deterministic.
+    process' cached engine (:func:`process_engine`, or
+    :func:`store_process_engine` for store-backed shards -- attached to
+    the shared on-disk corpus on first touch and reused across rounds).
+    The per-row results come back in row order; the caller concatenates
+    the blocks in shard order, which makes the merged assignment
+    deterministic.  Store or payload resolution failures raise, which the
+    strict dispatch turns into the caller's warm in-process fallback.
     """
-    engine = process_engine(shard.similarity, shard.backend)
-    return engine.assign_all(shard.transactions, shard.representatives)
+    if shard.store_dir is not None:
+        engine = store_process_engine(
+            shard.similarity, shard.backend, shard.store_dir
+        )
+        transactions = _store_transactions(shard.store_dir, shard.store_rows)
+    else:
+        engine = process_engine(shard.similarity, shard.backend)
+        transactions = shard.transactions
+    return engine.assign_all(transactions, _shard_representatives(shard))
 
 
 # --------------------------------------------------------------------------- #
@@ -151,20 +318,35 @@ class RefinementShard:
         ``None`` for a local shard (``ComputeLocalRepresentative``); for a
         global shard the per-member weights ``|C^i_j|``, parallel to
         *members* (``ComputeGlobalRepresentative``).
+    store_dir / member_rows:
+        Store-backed alternative to *members* (which is then ``None``):
+        the corpus-store directory plus the members' row ids, resolved by
+        the evaluating process through its shared store handle -- built by
+        :func:`make_refinement_shard` when the dispatching engine has an
+        attached store that covers every member.
     """
 
     cluster_index: int
-    members: List[Transaction]
+    members: Optional[List[Transaction]]
     similarity: SimilarityConfig
     backend: str
     representative_id: str
     max_items: Optional[int] = None
     weights: Optional[List[int]] = None
+    store_dir: Optional[str] = None
+    member_rows: Optional[List[int]] = None
 
     @property
     def kind(self) -> str:
         """``"local"`` or ``"global"``, decided by the presence of weights."""
         return "local" if self.weights is None else "global"
+
+    def resolve_members(self) -> List[Transaction]:
+        """The member transactions (inline, or store rows resolved through
+        the process-wide store cache for store-backed shards)."""
+        if self.members is not None:
+            return self.members
+        return _store_transactions(self.store_dir, self.member_rows)
 
 
 def _refine_with_engine(shard: RefinementShard, engine: SimilarityEngine) -> Transaction:
@@ -179,15 +361,16 @@ def _refine_with_engine(shard: RefinementShard, engine: SimilarityEngine) -> Tra
         compute_local_representative,
     )
 
+    members = shard.resolve_members()
     if shard.weights is None:
         return compute_local_representative(
-            shard.members,
+            members,
             engine,
             representative_id=shard.representative_id,
             max_items=shard.max_items,
         )
     return compute_global_representative(
-        list(zip(shard.members, shard.weights)),
+        list(zip(members, shard.weights)),
         engine,
         representative_id=shard.representative_id,
         max_items=shard.max_items,
@@ -198,7 +381,8 @@ def refine_shard(shard: RefinementShard) -> Tuple[int, Transaction]:
     """Worker entry point of the sharded refinement (module-level, picklable).
 
     Refines one cluster on this process' cached engine
-    (:func:`process_engine`) -- the same cache :func:`assign_shard` uses,
+    (:func:`process_engine`, or :func:`store_process_engine` for
+    store-backed shards) -- the same cache :func:`assign_shard` uses,
     and since both dispatchers share the executor registry
     (:func:`shard_executor`), a worker alternating between assignment and
     refinement shards of the same worker count really does keep one
@@ -206,8 +390,66 @@ def refine_shard(shard: RefinementShard) -> Tuple[int, Transaction]:
     ``(cluster_index, representative)`` so the caller can merge results in
     cluster-index order regardless of completion order.
     """
-    engine = process_engine(shard.similarity, shard.backend)
+    if shard.store_dir is not None:
+        engine = store_process_engine(
+            shard.similarity, shard.backend, shard.store_dir
+        )
+    else:
+        engine = process_engine(shard.similarity, shard.backend)
     return shard.cluster_index, _refine_with_engine(shard, engine)
+
+
+def make_refinement_shard(
+    engine: SimilarityEngine,
+    *,
+    cluster_index: int,
+    members: Sequence[Transaction],
+    representative_id: str,
+    max_items: Optional[int] = None,
+    weights: Optional[List[int]] = None,
+) -> RefinementShard:
+    """Build a refinement shard, store-backed whenever possible.
+
+    When *engine*'s backend has an attached corpus store that covers every
+    member (local shards only -- weighted global shards refine peer
+    representatives, which are synthetic and never live in the store), the
+    shard ships ``store_dir`` + row ids instead of pickled members;
+    otherwise it inlines the members exactly like the historical path.
+    Either way the shard's backend is the engine's in-process name
+    (:func:`inprocess_backend_name`), so workers never nest pools.
+    """
+    members = list(members)
+    backend = inprocess_backend_name(engine)
+    store = getattr(engine.backend, "attached_store", None)
+    if store is not None and members and weights is None:
+        rows: Optional[List[int]] = None
+        try:
+            row_index = store.row_index()
+            rows = [row_index[member] for member in members]
+        except Exception:
+            # a member outside the store (or an unreadable store) simply
+            # means this shard inlines its members
+            rows = None
+        if rows is not None:
+            return RefinementShard(
+                cluster_index=cluster_index,
+                members=None,
+                similarity=engine.config,
+                backend=backend,
+                representative_id=representative_id,
+                max_items=max_items,
+                store_dir=str(store.directory),
+                member_rows=rows,
+            )
+    return RefinementShard(
+        cluster_index=cluster_index,
+        members=members,
+        similarity=engine.config,
+        backend=backend,
+        representative_id=representative_id,
+        max_items=max_items,
+        weights=weights,
+    )
 
 
 #: Process-wide shard executors keyed by worker count, shared by every
@@ -300,7 +542,7 @@ def refine_clusters(
     results: Dict[int, Transaction] = {}
     populated: List[RefinementShard] = []
     for shard in shards:
-        if shard.members:
+        if shard.members or shard.member_rows:
             populated.append(shard)
         else:
             # empty clusters yield empty representatives; never worth a

@@ -451,14 +451,28 @@ class PythonBackend:
 class _CompiledTransaction:
     """Feature-block view of one transaction (arrays over its items)."""
 
-    __slots__ = ("length", "tag_path_ids", "content_ids", "uids", "uid_set")
+    __slots__ = ("length", "tag_path_ids", "content_ids", "uids", "_uid_set")
 
-    def __init__(self, length, tag_path_ids, content_ids, uids, uid_set) -> None:
+    def __init__(self, length, tag_path_ids, content_ids, uids, uid_set=None) -> None:
         self.length = length
         self.tag_path_ids = tag_path_ids
         self.content_ids = content_ids
         self.uids = uids
-        self.uid_set = uid_set
+        self._uid_set = uid_set
+
+    @property
+    def uid_set(self):
+        """Frozen uid set for the union counts, built lazily.
+
+        Store-attached views slice their uid arrays straight out of a
+        memmap; deferring the python-set materialisation keeps the attach
+        path free of per-item work until a kernel actually needs the set.
+        """
+        uid_set = self._uid_set
+        if uid_set is None:
+            uid_set = frozenset(self.uids.tolist())
+            self._uid_set = uid_set
+        return uid_set
 
 
 class NumpyBackend:
@@ -545,6 +559,21 @@ class NumpyBackend:
         # pruned once it exceeds TRANSIENT_CAP.
         self._pinned: Dict[Transaction, _CompiledTransaction] = {}
         self._transient: Dict[int, Tuple[Transaction, _CompiledTransaction]] = {}
+        # --- persistent compiled-corpus store ------------------------------ #
+        #: Handle of the attached :class:`~repro.similarity.corpus_store.
+        #: CorpusStore` (None when running without a store).
+        self.attached_store = None
+        #: Transactions compiled through :meth:`compile_corpus`; a warm
+        #: store attach leaves this at 0 (asserted by tests / CI smoke).
+        self.corpus_compile_count = 0
+        # (corpus list, tag-path ids, content ids, uids, spans) memmap
+        # views adopted by :meth:`attach_store`, plus the lazily built
+        # transaction -> row map over them.
+        self._attached = None
+        self._attached_rows: Optional[Dict[Transaction, int]] = None
+        # uid/content registries are rebuilt lazily after an attach; True
+        # means they are authoritative (fresh engines start hydrated).
+        self._hydrated = True
 
     # ------------------------------------------------------------------ #
     # Registries
@@ -557,14 +586,17 @@ class NumpyBackend:
             self._tag_paths.append(tag_path)
         return index
 
-    def _content_key(self, item: TreeTupleItem) -> tuple:
+    @staticmethod
+    def _content_key(item: TreeTupleItem) -> tuple:
         """Return the content class of an item.
 
         :func:`content_similarity` depends only on the two TCU vectors'
         ordered (term, weight) sequences -- the dot product iterates dict
         insertion order, so the *ordered* tuple pins the float result
         exactly -- falling back to raw-answer equality when both vectors
-        are empty.  The key captures precisely that information.
+        are empty.  The key captures precisely that information.  Static
+        because the corpus store derives the identical content classes
+        when exporting a compiled corpus.
         """
         vector = item.vector
         if vector:
@@ -572,6 +604,8 @@ class NumpyBackend:
         return ("e", item.answer)
 
     def _content_id(self, item: TreeTupleItem) -> int:
+        if not self._hydrated:
+            self._ensure_hydrated()
         key = self._content_key(item)
         index = self._content_index.get(key)
         if index is None:
@@ -581,6 +615,8 @@ class NumpyBackend:
         return index
 
     def _uid(self, item: TreeTupleItem) -> int:
+        if not self._hydrated:
+            self._ensure_hydrated()
         uid = self._uid_index.get(item)
         if uid is None:
             uid = len(self._uid_index)
@@ -611,6 +647,107 @@ class NumpyBackend:
         return matrix
 
     # ------------------------------------------------------------------ #
+    # Persistent compiled-corpus store
+    # ------------------------------------------------------------------ #
+    def attach_store(self, store, transactions=None) -> bool:
+        """Adopt a persistent compiled corpus instead of recompiling it.
+
+        On a pristine backend (nothing compiled yet) the store's array
+        blocks are attached zero-copy: the tag-path registry and the
+        read-only memmapped structural-similarity matrix become
+        authoritative immediately, per-transaction array views materialise
+        on first compile touch, and the uid/content registries hydrate
+        lazily on first use (:meth:`_ensure_hydrated`) -- so a warm attach
+        does no per-item work at all.  On a backend that already compiled
+        transactions, only the handle is kept (the shard dispatch still
+        uses it to address rows); returns True on a zero-copy attach.
+
+        Bit-exactness is preserved because the store records precisely the
+        first-occurrence registries and cache floats a fresh compile of
+        the same corpus produces.
+        """
+        self.attached_store = store
+        if self._pinned or self._tag_paths:
+            return False
+        np = self._np
+        arrays = store.arrays()
+        self._tag_paths = list(store.tag_paths())
+        self._tag_path_index = {
+            path: index for index, path in enumerate(self._tag_paths)
+        }
+        self._tp_matrix = arrays["tp_matrix"]
+        if transactions is not None:
+            store.bind_transactions(transactions)
+        corpus = store.transactions()
+        self._attached = (
+            corpus,
+            arrays["item_tag_path_ids"].astype(np.intp, copy=False),
+            arrays["item_content_ids"].astype(np.intp, copy=False),
+            arrays["item_uids"].astype(np.intp, copy=False),
+            arrays["tx_spans"],
+        )
+        self._attached_rows = None
+        self._hydrated = False
+        return True
+
+    def _attached_compiled(self, transaction: Transaction):
+        """Store-backed compiled view of *transaction*, or None.
+
+        Resolves the transaction (by value) to its corpus row and slices
+        the shared id arrays -- views over the memmap, no copies.  The
+        row map over the attached corpus is built on first miss of the
+        pinned cache, i.e. never on the pure warm-attach path.
+        """
+        attached = self._attached
+        if attached is None:
+            return None
+        corpus, tag_path_ids, content_ids, uids, spans = attached
+        rows = self._attached_rows
+        if rows is None:
+            rows = {t: row for row, t in enumerate(corpus)}
+            self._attached_rows = rows
+        row = rows.get(transaction)
+        if row is None:
+            return None
+        start = int(spans[row])
+        stop = int(spans[row + 1])
+        return _CompiledTransaction(
+            length=stop - start,
+            tag_path_ids=tag_path_ids[start:stop],
+            content_ids=content_ids[start:stop],
+            uids=uids[start:stop],
+        )
+
+    def _ensure_hydrated(self) -> None:
+        """Rebuild the uid/content registries from the attached corpus.
+
+        Deferred until something actually needs them (compiling a *new*
+        transaction, scalar item kernels, content blocks).  Walking the
+        corpus in order reproduces the exact fresh-compile registries:
+        uids were stored dense in first-occurrence order, and a content
+        id equal to the current exemplar count marks the first occurrence
+        of its class -- the same exemplar item a fresh compile would keep.
+        """
+        if self._hydrated:
+            return
+        self._hydrated = True
+        corpus, _, content_ids, uids, _ = self._attached
+        uid_index = self._uid_index
+        content_index = self._content_index
+        exemplars = self._content_exemplars
+        content_key = self._content_key
+        position = 0
+        for transaction in corpus:
+            for item in transaction.items:
+                if item not in uid_index:
+                    uid_index[item] = int(uids[position])
+                content_id = int(content_ids[position])
+                if content_id == len(exemplars):
+                    exemplars.append(item)
+                    content_index[content_key(item)] = content_id
+                position += 1
+
+    # ------------------------------------------------------------------ #
     # Compilation
     # ------------------------------------------------------------------ #
     def _compile(self, transaction: Transaction) -> _CompiledTransaction:
@@ -621,6 +758,10 @@ class NumpyBackend:
         entry = self._transient.get(key)
         if entry is not None and entry[0] is transaction:
             return entry[1]
+        compiled = self._attached_compiled(transaction)
+        if compiled is not None:
+            self._pinned[transaction] = compiled
+            return compiled
         compiled = self._compile_items(transaction)
         if len(self._transient) >= self.TRANSIENT_CAP:
             self._transient.clear()
@@ -643,7 +784,6 @@ class NumpyBackend:
             tag_path_ids=tag_path_ids,
             content_ids=content_ids,
             uids=uids,
-            uid_set=frozenset(uids.tolist()),
         )
 
     def compile_corpus(self, transactions: Sequence[Transaction]) -> int:
@@ -656,15 +796,23 @@ class NumpyBackend:
         Pins are keyed by transaction value, so re-presenting the same
         corpus -- even as freshly unpickled copies in a multiprocessing
         worker -- costs one dictionary probe per transaction and adds no
-        new entries.  Returns the number of newly compiled transactions.
+        new entries.  Transactions covered by an attached store pin their
+        memmap-backed views without any compile work (and without
+        counting).  Returns the number of newly *compiled* transactions
+        and accumulates it in :attr:`corpus_compile_count`.
         """
         count = 0
         for transaction in transactions:
             if transaction in self._pinned:
                 continue
+            attached = self._attached_compiled(transaction)
+            if attached is not None:
+                self._pinned[transaction] = attached
+                continue
             self._pinned[transaction] = self._compile_items(transaction)
             count += 1
         self._ensure_tp_matrix()
+        self.corpus_compile_count += count
         return count
 
     # ------------------------------------------------------------------ #
@@ -679,6 +827,8 @@ class NumpyBackend:
         always evaluates ``sim(transaction item, representative item)`` in
         that order.
         """
+        if not self._hydrated:
+            self._ensure_hydrated()
         np = self._np
         memo = self._content_memo
         exemplars = self._content_exemplars
@@ -723,6 +873,8 @@ class NumpyBackend:
         so one cosine per ordered class pair reproduces every per-item
         cosine of the reference loop bit-for-bit.
         """
+        if not self._hydrated:
+            self._ensure_hydrated()
         np = self._np
         memo = self._cosine_memo
         exemplars = self._content_exemplars
@@ -1242,6 +1394,23 @@ class ShardedBackend:
         self.workers, self.inner_name = self._parse_options(options)
         self._inner = create_backend(self.inner_name, engine)
         self._executor = None
+        #: Store handle shared with shard workers (None without a store).
+        self.attached_store = None
+
+    @property
+    def corpus_compile_count(self) -> int:
+        """Corpus transactions actually compiled by the inner backend."""
+        return getattr(self._inner, "corpus_compile_count", 0)
+
+    def attach_store(self, store, transactions=None) -> bool:
+        """Keep the store handle for shard dispatch and attach it to the
+        in-process inner backend when that backend supports compiled
+        corpora; workers attach their own handle on first shard touch."""
+        self.attached_store = store
+        inner_attach = getattr(self._inner, "attach_store", None)
+        if inner_attach is not None:
+            return bool(inner_attach(store, transactions))
+        return False
 
     @staticmethod
     def _parse_options(options: Optional[str]) -> Tuple[int, str]:
@@ -1392,6 +1561,27 @@ class ShardedBackend:
             start = stop
         return blocks
 
+    def _store_rows(
+        self, transactions: Sequence[Transaction]
+    ) -> Optional[List[int]]:
+        """Store row ids for *transactions*, or None when any row (or the
+        store's row index itself) cannot be resolved -- in which case the
+        dispatch falls back to shipping the transactions by pickle."""
+        store = self.attached_store
+        if store is None:
+            return None
+        try:
+            row_index = store.row_index()
+        except Exception:
+            return None
+        rows: List[int] = []
+        for transaction in transactions:
+            row = row_index.get(transaction)
+            if row is None:
+                return None
+            rows.append(row)
+        return rows
+
     def assign_all(
         self,
         transactions: Sequence[Transaction],
@@ -1400,13 +1590,25 @@ class ShardedBackend:
         """Sharded bulk assignment: contiguous row blocks dispatched to
         worker processes and concatenated in block order (deterministic,
         bit-exact with the serial inner backend); small inputs, one worker
-        or dispatch failures fall back to the in-process inner backend."""
+        or dispatch failures fall back to the in-process inner backend.
+
+        With an attached corpus store the shards carry the store directory
+        plus row-id spans instead of pickled ``Transaction`` rows, and the
+        representative set travels once per dispatch as a round payload
+        instead of once per shard -- workers attach the store on first
+        touch and reuse it across rounds.
+        """
         transactions = list(transactions)
         if not representatives:
             return [(-1, 0.0) for _ in transactions]
         if self.workers <= 1 or len(transactions) < self.MIN_SHARD_ROWS:
             return self._inner.assign_all(transactions, representatives)
-        from repro.network.mpengine import AssignmentShard, assign_shard
+        from repro.network.mpengine import (
+            AssignmentShard,
+            assign_shard,
+            discard_round_payload,
+            publish_round_payload,
+        )
 
         executor = self._ensure_executor()
         if not executor.can_dispatch():
@@ -1415,21 +1617,48 @@ class ShardedBackend:
             # inner backend is strictly better
             return self._inner.assign_all(transactions, representatives)
         representatives = list(representatives)
-        shards = [
-            AssignmentShard(
-                transactions=block,
-                representatives=representatives,
-                similarity=self.engine.config,
-                backend=self.inner_name,
-            )
-            for block in self._row_blocks(transactions)
-        ]
+        blocks = self._row_blocks(transactions)
+        store_rows = self._store_rows(transactions)
+        store_dir = (
+            str(self.attached_store.directory) if store_rows is not None else None
+        )
+        # the representative set is identical for every shard of a round:
+        # publish it once and let shards carry a tiny content-addressed
+        # reference (falls back to inlining when the payload cannot be
+        # written, e.g. read-only temp dirs)
+        payload_ref = publish_round_payload(representatives)
         try:
-            # strict dispatch: pool/worker failures raise and land on the
-            # warm inner backend instead of cold in-process duplicates
-            results = executor.dispatch(assign_shard, shards)
-        except Exception:
-            return self._inner.assign_all(transactions, representatives)
+            shards = []
+            start = 0
+            for block in blocks:
+                stop = start + len(block)
+                shards.append(
+                    AssignmentShard(
+                        transactions=None if store_rows is not None else block,
+                        representatives=(
+                            None if payload_ref is not None else representatives
+                        ),
+                        similarity=self.engine.config,
+                        backend=self.inner_name,
+                        store_dir=store_dir,
+                        store_rows=(
+                            store_rows[start:stop]
+                            if store_rows is not None
+                            else None
+                        ),
+                        representatives_ref=payload_ref,
+                    )
+                )
+                start = stop
+            try:
+                # strict dispatch: pool/worker failures raise and land on
+                # the warm inner backend instead of cold in-process
+                # duplicates
+                results = executor.dispatch(assign_shard, shards)
+            except Exception:
+                return self._inner.assign_all(transactions, representatives)
+        finally:
+            discard_round_payload(payload_ref)
         return [pair for block_result in results for pair in block_result]
 
 

@@ -1,0 +1,510 @@
+"""Persistent, mmap-backed compiled-corpus store.
+
+Compiling a corpus into the :class:`~repro.similarity.backend.NumpyBackend`
+feature blocks (tag-path matrix, per-item id arrays, content-class
+registries) is the dominant fixed cost of every clustering run -- and
+historically it was paid once *per process, per run*: each multiprocessing
+worker rebuilt the compiled corpus from pickled ``Transaction`` lists.  The
+store exports one compilation to a fingerprinted on-disk layout that any
+number of later processes attach with ``np.load(mmap_mode="r")``, so N
+processes share one set of page-cache pages instead of holding N private
+compilations.
+
+On-disk layout (one directory per fingerprint under the cache root)::
+
+    <cache_dir>/<fingerprint[:16]>/
+        manifest.json          # format version, fingerprint, counts (LAST)
+        tp_matrix.npy          # (P, P) float64 structural-similarity matrix
+        item_tag_path_ids.npy  # (I,) int64, corpus items in corpus order
+        item_content_ids.npy   # (I,) int64, dense first-occurrence classes
+        item_uids.npy          # (I,) int64, canonical item identifiers
+        tx_spans.npy           # (T+1,) int64 item offsets per transaction
+        tag_paths.json         # tag-path registry (list of step lists)
+        transactions.pkl       # pickled corpus (worker-side attach only)
+
+The manifest is written last, so a crash mid-save leaves a directory that
+:meth:`CorpusStore.load` rejects (and the next run recompiles and
+overwrites).  Staleness is handled entirely through the fingerprint: the
+content hash covers the transactions (ids, paths, answers, terms, TCU
+vectors), the similarity configuration and :data:`STORE_FORMAT_VERSION`,
+so changed data, a changed ``(f, gamma)`` or a bumped store format each
+land in a different directory and force a recompile.
+
+The arrays reproduce a fresh :meth:`NumpyBackend.compile_corpus` of the
+same corpus *exactly* (identifiers are assigned in the same
+first-occurrence order, matrix entries come from the same pure
+``TagPathSimilarityCache.similarity`` floats), which is what makes the
+attach path bit-exact with the fresh-compile path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.similarity.backend import NumpyBackend, _load_numpy
+from repro.similarity.item import SimilarityConfig
+from repro.transactions.transaction import Transaction
+from repro.xmlmodel.paths import XMLPath
+
+#: Version of the on-disk layout; part of the fingerprint *and* checked in
+#: the manifest, so bumping it invalidates every existing store directory.
+STORE_FORMAT_VERSION = 1
+
+#: Name of the manifest file (written last for crash safety).
+MANIFEST_NAME = "manifest.json"
+
+#: The memmap-attached array blocks of a store directory.
+ARRAY_NAMES = (
+    "tp_matrix",
+    "item_tag_path_ids",
+    "item_content_ids",
+    "item_uids",
+    "tx_spans",
+)
+
+
+class CorpusStoreError(RuntimeError):
+    """A store directory is absent, incomplete, corrupted or incompatible."""
+
+
+def corpus_fingerprint(
+    transactions: Sequence[Transaction], similarity: SimilarityConfig
+) -> str:
+    """Content hash of (corpus, similarity config, store format version).
+
+    Hashes the *value* of every transaction -- ids, path steps, answers,
+    terms and the ordered TCU term/weight pairs (exactly the information
+    the compiled arrays are derived from) -- via ``repr``, which is purely
+    value-based: floats render as their shortest round-trip form and tuples
+    render element-wise, so two equal corpora hash identically regardless
+    of object aliasing (unlike ``pickle``, whose memoisation encodes
+    sharing structure and lazily cached fields).
+
+    Integer *term identifiers* are the one per-process artifact in a
+    transaction: the vocabulary assigns them in hash-randomised set order,
+    so the same corpus carries a different (but bijective) term numbering
+    in every process -- a numbering the compiled arrays never encode (item
+    equality, content classes and cosine values are all invariant under
+    it).  The fingerprint therefore relabels term ids by first occurrence
+    in corpus order, which is process-independent because vector insertion
+    order follows the generation text, not the id values.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"repro-corpus-store/{STORE_FORMAT_VERSION}".encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(repr((similarity.f, similarity.gamma)).encode("utf-8"))
+    canonical_terms: Dict[int, int] = {}
+
+    def canonical_vector(vector) -> tuple:
+        pairs = []
+        for term, weight in vector.items():
+            canonical = canonical_terms.get(term)
+            if canonical is None:
+                canonical = len(canonical_terms)
+                canonical_terms[term] = canonical
+            pairs.append((canonical, weight))
+        return tuple(pairs)
+
+    for transaction in transactions:
+        digest.update(b"\x00")
+        digest.update(
+            repr(
+                (
+                    transaction.transaction_id,
+                    transaction.doc_id,
+                    transaction.tuple_id,
+                    [
+                        (
+                            item.item_id,
+                            item.path.steps,
+                            item.answer,
+                            item.terms,
+                            canonical_vector(item.vector),
+                        )
+                        for item in transaction.items
+                    ],
+                )
+            ).encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+def store_directory(cache_dir, fingerprint: str) -> Path:
+    """The store directory for *fingerprint* under the cache root."""
+    return Path(cache_dir) / fingerprint[:16]
+
+
+class CorpusStore:
+    """Handle to one fingerprinted store directory.
+
+    Construct through :meth:`save` (export a freshly compiled corpus) or
+    :meth:`load` (validate an existing directory); attach to a backend with
+    :meth:`attach`.  Array blocks are loaded lazily with
+    ``np.load(mmap_mode="r")`` and cached on the handle, so attaching costs
+    page-table setup rather than a read of the data.
+    """
+
+    def __init__(self, directory: Path, manifest: Dict[str, object]) -> None:
+        self._directory = Path(directory)
+        self._manifest = manifest
+        self._arrays: Optional[Dict[str, object]] = None
+        self._tag_paths: Optional[List[XMLPath]] = None
+        self._transactions: Optional[List[Transaction]] = None
+        self._row_index: Optional[Dict[Transaction, int]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Path:
+        """The store directory this handle points at."""
+        return self._directory
+
+    @property
+    def fingerprint(self) -> str:
+        """The full corpus fingerprint recorded in the manifest."""
+        return str(self._manifest["fingerprint"])
+
+    @property
+    def manifest(self) -> Dict[str, object]:
+        """The parsed manifest (format version, fingerprint, counts)."""
+        return self._manifest
+
+    # ------------------------------------------------------------------ #
+    # Save / load
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def save(
+        cls,
+        directory,
+        transactions: Sequence[Transaction],
+        similarity: SimilarityConfig,
+        cache,
+        fingerprint: Optional[str] = None,
+    ) -> "CorpusStore":
+        """Export a canonical compilation of *transactions* to *directory*.
+
+        The registries are recomputed from scratch in corpus order -- the
+        same first-occurrence insertion order a fresh backend compiling
+        exactly this corpus would produce -- rather than copied from a live
+        backend, whose registries may carry extra entries from
+        representative compiles.  Matrix entries come from
+        ``cache.similarity`` (the pure tag-path similarity the backends
+        share), so the stored floats equal the fresh-compile floats bit for
+        bit.  The manifest is written last; a crash mid-save therefore
+        leaves a directory that :meth:`load` rejects.
+        """
+        np = _load_numpy()
+        transactions = list(transactions)
+        if fingerprint is None:
+            fingerprint = corpus_fingerprint(transactions, similarity)
+        tag_paths: List[XMLPath] = []
+        tag_index: Dict[XMLPath, int] = {}
+        content_index: Dict[tuple, int] = {}
+        uid_index: Dict[object, int] = {}
+        tp_ids: List[int] = []
+        content_ids: List[int] = []
+        uids: List[int] = []
+        spans: List[int] = [0]
+        content_key = NumpyBackend._content_key
+        for transaction in transactions:
+            for item in transaction.items:
+                tag_path = item.tag_path
+                tag_id = tag_index.get(tag_path)
+                if tag_id is None:
+                    tag_id = len(tag_paths)
+                    tag_index[tag_path] = tag_id
+                    tag_paths.append(tag_path)
+                key = content_key(item)
+                content_id = content_index.get(key)
+                if content_id is None:
+                    content_id = len(content_index)
+                    content_index[key] = content_id
+                uid = uid_index.get(item)
+                if uid is None:
+                    uid = len(uid_index)
+                    uid_index[item] = uid
+                tp_ids.append(tag_id)
+                content_ids.append(content_id)
+                uids.append(uid)
+            spans.append(len(tp_ids))
+        size = len(tag_paths)
+        matrix = np.empty((size, size), dtype=np.float64)
+        similarity_of = cache.similarity
+        for i in range(size):
+            path_i = tag_paths[i]
+            for j in range(i, size):
+                value = similarity_of(path_i, tag_paths[j])
+                matrix[i, j] = value
+                matrix[j, i] = value
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        arrays = {
+            "tp_matrix": matrix,
+            "item_tag_path_ids": np.asarray(tp_ids, dtype=np.int64),
+            "item_content_ids": np.asarray(content_ids, dtype=np.int64),
+            "item_uids": np.asarray(uids, dtype=np.int64),
+            "tx_spans": np.asarray(spans, dtype=np.int64),
+        }
+        for name, array in arrays.items():
+            np.save(directory / f"{name}.npy", array)
+        with open(directory / "tag_paths.json", "w", encoding="utf-8") as handle:
+            json.dump([list(path.steps) for path in tag_paths], handle)
+        with open(directory / "transactions.pkl", "wb") as handle:
+            pickle.dump(transactions, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        manifest = {
+            "format_version": STORE_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "similarity": {"f": similarity.f, "gamma": similarity.gamma},
+            "counts": {
+                "transactions": len(transactions),
+                "items": len(tp_ids),
+                "tag_paths": size,
+                "content_classes": len(content_index),
+            },
+            "arrays": [f"{name}.npy" for name in ARRAY_NAMES],
+        }
+        # last write: the manifest's presence marks the directory complete
+        with open(directory / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        store = cls(directory, manifest)
+        store._transactions = transactions
+        _STORE_CACHE[str(directory)] = store
+        return store
+
+    @classmethod
+    def load(cls, directory) -> "CorpusStore":
+        """Validate *directory* and return a handle to it.
+
+        Raises :class:`CorpusStoreError` when the manifest is absent or
+        unreadable (including half-written crash leftovers), records a
+        different :data:`STORE_FORMAT_VERSION`, or any array/registry file
+        named by the layout is missing.
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise CorpusStoreError(
+                f"cannot read corpus-store manifest {manifest_path}: {error}"
+            ) from error
+        if not isinstance(manifest, dict):
+            raise CorpusStoreError(
+                f"corpus-store manifest {manifest_path} is not an object"
+            )
+        version = manifest.get("format_version")
+        if version != STORE_FORMAT_VERSION:
+            raise CorpusStoreError(
+                f"corpus store {directory} has format version {version!r}, "
+                f"expected {STORE_FORMAT_VERSION}"
+            )
+        fingerprint = manifest.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise CorpusStoreError(
+                f"corpus store {directory} has no fingerprint"
+            )
+        missing = [
+            name
+            for name in [f"{name}.npy" for name in ARRAY_NAMES]
+            + ["tag_paths.json", "transactions.pkl"]
+            if not (directory / name).exists()
+        ]
+        if missing:
+            raise CorpusStoreError(
+                f"corpus store {directory} is missing {', '.join(missing)}"
+            )
+        return cls(directory, manifest)
+
+    # ------------------------------------------------------------------ #
+    # Lazy attached resources
+    # ------------------------------------------------------------------ #
+    def arrays(self) -> Dict[str, object]:
+        """The array blocks, memmap-attached read-only and cached.
+
+        ``np.load(mmap_mode="r")`` maps the ``.npy`` payloads copy-on-read:
+        every process attaching the same store shares one set of page-cache
+        pages, which is the whole point of the store.
+        """
+        if self._arrays is None:
+            np = _load_numpy()
+            loaded: Dict[str, object] = {}
+            for name in ARRAY_NAMES:
+                path = self._directory / f"{name}.npy"
+                try:
+                    loaded[name] = np.load(path, mmap_mode="r")
+                except (OSError, ValueError) as error:
+                    raise CorpusStoreError(
+                        f"cannot attach corpus-store array {path}: {error}"
+                    ) from error
+            self._arrays = loaded
+        return self._arrays
+
+    def tag_paths(self) -> List[XMLPath]:
+        """The tag-path registry, in stored (first-occurrence) order."""
+        if self._tag_paths is None:
+            path = self._directory / "tag_paths.json"
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    steps_lists = json.load(handle)
+            except (OSError, ValueError) as error:
+                raise CorpusStoreError(
+                    f"cannot read corpus-store tag paths {path}: {error}"
+                ) from error
+            self._tag_paths = [XMLPath(tuple(steps)) for steps in steps_lists]
+        return self._tag_paths
+
+    def bind_transactions(self, transactions: Sequence[Transaction]) -> None:
+        """Adopt the caller's live corpus list instead of unpickling.
+
+        Used on the attach path when the attaching process already holds
+        the corpus (the usual case outside pool workers), so
+        :meth:`transactions` / :meth:`row_index` never touch
+        ``transactions.pkl`` there.
+        """
+        self._transactions = list(transactions)
+        self._row_index = None
+
+    def transactions(self) -> List[Transaction]:
+        """The stored corpus, unpickled on first use (workers) and cached."""
+        if self._transactions is None:
+            path = self._directory / "transactions.pkl"
+            try:
+                with open(path, "rb") as handle:
+                    self._transactions = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError) as error:
+                raise CorpusStoreError(
+                    f"cannot read corpus-store transactions {path}: {error}"
+                ) from error
+        return self._transactions
+
+    def row_index(self) -> Dict[Transaction, int]:
+        """Mapping from corpus transaction (by value) to its row number."""
+        if self._row_index is None:
+            self._row_index = {
+                transaction: row
+                for row, transaction in enumerate(self.transactions())
+            }
+        return self._row_index
+
+    def attach(self, backend, transactions: Optional[Sequence[Transaction]] = None) -> bool:
+        """Attach this store to *backend* (``backend.attach_store``).
+
+        Returns True when the backend zero-copy-attached the array blocks,
+        False when it only kept the handle (already-compiled engines and
+        backends without compiled corpora).
+        """
+        attach = getattr(backend, "attach_store", None)
+        if attach is None:
+            return False
+        return bool(attach(self, transactions))
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide store cache
+# --------------------------------------------------------------------------- #
+#: Stores attached by this process, keyed by directory.  Worker processes
+#: resolve shard row ids through this cache, so the corpus is unpickled at
+#: most once per process no matter how many shards and rounds reference it.
+_STORE_CACHE: Dict[str, CorpusStore] = {}
+
+
+def cached_store(directory) -> CorpusStore:
+    """This process' shared handle for the store at *directory*."""
+    key = str(directory)
+    store = _STORE_CACHE.get(key)
+    if store is None:
+        store = CorpusStore.load(directory)
+        _STORE_CACHE[key] = store
+    return store
+
+
+def clear_store_cache() -> None:
+    """Drop every cached store handle (used by tests)."""
+    _STORE_CACHE.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Engine preparation (the single entry point runner / CLI / bench use)
+# --------------------------------------------------------------------------- #
+def _precompute_and_compile(engine, transactions: Sequence[Transaction]) -> int:
+    """The historical warm-up: precompute the tag-path cache, compile."""
+    engine.cache.precompute(
+        {item.tag_path for transaction in transactions for item in transaction.items}
+    )
+    return engine.backend.compile_corpus(transactions)
+
+
+def prepare_engine_corpus(
+    engine,
+    transactions: Sequence[Transaction],
+    cache_dir=None,
+    fingerprint: Optional[str] = None,
+) -> Dict[str, object]:
+    """Prepare *engine* for *transactions*, through the store when enabled.
+
+    * ``cache_dir is None`` (the default-off configuration) or a backend
+      without compiled corpora (the ``python`` reference): the historical
+      precompute-and-compile path runs, status ``"off"`` /
+      ``"unsupported"``.
+    * Store **hit** (a valid directory whose fingerprint matches): the
+      arrays are memmap-attached and *no* compile work happens -- the
+      O(paths^2) cache precompute and the per-item compilation are both
+      skipped, status ``"hit"`` with ``compiled == 0``.
+    * Store **miss** (absent, stale-format, corrupted or crash-truncated
+      directory): the corpus is compiled the historical way, exported with
+      :meth:`CorpusStore.save` (best effort -- an unwritable cache
+      directory degrades to status ``"error"`` without failing the run)
+      and the fresh store is attached as the handle workers will share.
+
+    Returns a status dictionary (``store``, ``compiled``, and on the store
+    paths ``fingerprint`` / ``directory``).
+    """
+    transactions = list(transactions)
+    backend = engine.backend
+    if cache_dir is None:
+        compiled = _precompute_and_compile(engine, transactions)
+        return {"store": "off", "compiled": compiled}
+    if getattr(backend, "attach_store", None) is None:
+        compiled = _precompute_and_compile(engine, transactions)
+        return {"store": "unsupported", "compiled": compiled}
+    if fingerprint is None:
+        fingerprint = corpus_fingerprint(transactions, engine.config)
+    directory = store_directory(cache_dir, fingerprint)
+    try:
+        store = CorpusStore.load(directory)
+    except CorpusStoreError:
+        store = None
+    if store is not None and store.fingerprint == fingerprint:
+        store.bind_transactions(transactions)
+        _STORE_CACHE[str(directory)] = store
+        backend.attach_store(store, transactions)
+        return {
+            "store": "hit",
+            "compiled": 0,
+            "fingerprint": fingerprint,
+            "directory": str(directory),
+        }
+    compiled = _precompute_and_compile(engine, transactions)
+    try:
+        store = CorpusStore.save(
+            directory,
+            transactions,
+            engine.config,
+            engine.cache,
+            fingerprint=fingerprint,
+        )
+    except OSError as error:
+        return {"store": "error", "compiled": compiled, "error": str(error)}
+    backend.attach_store(store, transactions)
+    return {
+        "store": "miss",
+        "compiled": compiled,
+        "fingerprint": fingerprint,
+        "directory": str(directory),
+    }

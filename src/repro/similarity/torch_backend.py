@@ -219,6 +219,11 @@ class TorchBackend(NumpyBackend):
         matrix = self._ensure_tp_matrix()
         cached = self._tp_tensor_cache
         if cached is None or cached.shape[0] != matrix.shape[0]:
+            if not matrix.flags.writeable:
+                # a store-attached matrix is a read-only memmap;
+                # ``as_tensor`` would warn (and hand torch a non-writable
+                # buffer), so upload from a private copy instead
+                matrix = self._np.array(matrix)
             cached = self._torch.as_tensor(
                 matrix, dtype=self.dtype, device=self.device
             )

@@ -165,6 +165,69 @@ class TestTrajectoryValidation:
         assert benchjson.validate_file(str(trajectory)) == []
 
 
+class TestAppend:
+    """The ``append`` subcommand growing a ``BENCH_*.json`` trajectory."""
+
+    def test_append_creates_a_missing_trajectory(self, report, tmp_path):
+        good = tmp_path / "report.json"
+        report.write(str(good))
+        trajectory = tmp_path / "BENCH_backend.json"
+        assert benchjson.append_report(str(good), str(trajectory)) == []
+        data = json.loads(trajectory.read_text())
+        assert isinstance(data, list) and len(data) == 1
+        assert data[0]["script"] == "bench_backend"
+        assert benchjson.validate_file(str(trajectory)) == []
+
+    def test_append_grows_an_existing_trajectory(self, report, tmp_path):
+        good = tmp_path / "report.json"
+        report.write(str(good))
+        trajectory = tmp_path / "BENCH_backend.json"
+        trajectory.write_text(json.dumps([report.as_dict()]))
+        assert benchjson.append_report(str(good), str(trajectory)) == []
+        assert len(json.loads(trajectory.read_text())) == 2
+
+    def test_invalid_report_is_rejected_without_writing(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        trajectory = tmp_path / "BENCH_backend.json"
+        errors = benchjson.append_report(str(bad), str(trajectory))
+        assert errors
+        assert not trajectory.exists()
+
+    def test_corrupt_trajectory_is_rejected_without_writing(
+        self, report, tmp_path
+    ):
+        good = tmp_path / "report.json"
+        report.write(str(good))
+        trajectory = tmp_path / "BENCH_backend.json"
+        trajectory.write_text('{"not": "an array"}')
+        errors = benchjson.append_report(str(good), str(trajectory))
+        assert errors
+        assert json.loads(trajectory.read_text()) == {"not": "an array"}
+
+    def test_append_cli_exit_codes(self, report, tmp_path, capsys):
+        good = tmp_path / "report.json"
+        report.write(str(good))
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        trajectory = tmp_path / "BENCH_backend.json"
+        assert benchjson.main(["append", str(good), str(trajectory)]) == 0
+        assert benchjson.main(["append", str(bad), str(trajectory)]) == 1
+        assert benchjson.main(["append", str(good)]) == 2
+        out = capsys.readouterr().out
+        assert "appended" in out and "INVALID" in out and "usage" in out
+        # the failed appends left the trajectory with exactly one entry
+        assert len(json.loads(trajectory.read_text())) == 1
+
+    def test_appended_trajectory_still_validates(self, report, tmp_path):
+        good = tmp_path / "report.json"
+        report.write(str(good))
+        trajectory = tmp_path / "BENCH_backend.json"
+        for _ in range(3):
+            assert benchjson.main(["append", str(good), str(trajectory)]) == 0
+        assert benchjson.main([str(trajectory)]) == 0
+
+
 class TestValidation:
     def test_valid_report_has_no_errors(self, report):
         assert benchjson.validate_report(report.as_dict()) == []

@@ -15,6 +15,7 @@ Covered modules (the ISSUE's documented public API):
 * ``repro.core.representatives`` -- the summarisation machinery
 * ``repro.network.mpengine`` -- executors, shards, per-process engines
 * ``repro.core.config`` -- :class:`~repro.core.config.ClusteringConfig`
+* ``repro.similarity.corpus_store`` -- the persistent compiled-corpus store
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ import repro.core.config
 import repro.core.representatives
 import repro.network.mpengine
 import repro.similarity.backend
+import repro.similarity.corpus_store
 import repro.similarity.torch_backend
 
 DOCUMENTED_MODULES = [
@@ -37,6 +39,7 @@ DOCUMENTED_MODULES = [
     repro.core.representatives,
     repro.network.mpengine,
     repro.core.config,
+    repro.similarity.corpus_store,
 ]
 
 

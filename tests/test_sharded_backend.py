@@ -268,6 +268,84 @@ class TestExecutorLifecycle:
 
 
 # --------------------------------------------------------------------------- #
+# Round payloads: representatives pickled once per dispatch, not per shard
+# --------------------------------------------------------------------------- #
+class TestRoundPayload:
+    """Regression (PR 6): ``assign_all`` used to pickle the full
+    representative set into *every* shard, so the bytes crossing the pool
+    boundary scaled with ``k x workers`` per round.  The representatives
+    are now published once per dispatch as a content-addressed tempfile
+    payload; shards carry only a tiny ``PayloadRef``."""
+
+    def test_shard_payload_size_does_not_scale_with_k(self, dblp_small):
+        import pickle
+
+        from repro.network.mpengine import (
+            AssignmentShard,
+            discard_round_payload,
+            publish_round_payload,
+        )
+
+        transactions = dblp_small.transactions
+        config = SimilarityConfig(f=0.5, gamma=0.8)
+        rows = transactions[:8]
+        sizes = {}
+        for k in (2, 16):
+            representatives = select_seed_transactions(
+                transactions, k, random.Random(0)
+            )
+            ref = publish_round_payload(representatives)
+            assert ref is not None
+            try:
+                shard = AssignmentShard(
+                    transactions=rows,
+                    representatives=None,
+                    similarity=config,
+                    backend="numpy",
+                    representatives_ref=ref,
+                )
+                sizes[k] = len(pickle.dumps(shard))
+            finally:
+                discard_round_payload(ref)
+        # 8x the representatives, same shard bytes (the ref is a fixed-size
+        # path + digest): allow only incidental jitter, not k-scaling
+        assert abs(sizes[16] - sizes[2]) < 128
+
+    def test_published_payload_round_trips(self, dblp_small):
+        from repro.network.mpengine import (
+            discard_round_payload,
+            load_round_payload,
+            publish_round_payload,
+        )
+
+        representatives = dblp_small.transactions[:4]
+        ref = publish_round_payload(representatives)
+        assert ref is not None
+        try:
+            assert load_round_payload(ref) == representatives
+        finally:
+            discard_round_payload(ref)
+
+    def test_tampered_payload_is_rejected(self, dblp_small, tmp_path):
+        from repro.network.mpengine import (
+            PayloadRef,
+            discard_round_payload,
+            publish_round_payload,
+        )
+        from repro.network.mpengine import load_round_payload
+
+        ref = publish_round_payload(dblp_small.transactions[:2])
+        assert ref is not None
+        try:
+            with open(ref.path, "wb") as handle:
+                handle.write(b"garbage")
+            with pytest.raises(RuntimeError):
+                load_round_payload(PayloadRef(path=ref.path, digest=ref.digest))
+        finally:
+            discard_round_payload(ref)
+
+
+# --------------------------------------------------------------------------- #
 # Per-process engine cache isolation
 # --------------------------------------------------------------------------- #
 class TestProcessEngineIsolation:

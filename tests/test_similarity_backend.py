@@ -394,8 +394,10 @@ class TestExperimentWiring:
             backend="numpy",
         )
         algorithm = XKMeans(config)
-        stats = precompute_similarity(algorithm, dblp_small.transactions)
-        assert stats["entries"] > 0
+        status = precompute_similarity(algorithm, dblp_small.transactions)
+        assert status["store"] == "off"
+        assert status["compiled"] == len(dblp_small.transactions)
+        assert algorithm.engine.cache.stats()["entries"] > 0
         algorithm.fit(dblp_small.transactions)
         # up-front precomputation means the clustering itself never misses
         assert algorithm.engine.cache.stats()["misses"] == 0
