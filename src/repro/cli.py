@@ -3,7 +3,10 @@
 The ``cxk`` console script exposes the main workflows:
 
 * ``cxk cluster`` -- cluster an XML directory (or a synthetic corpus) with
-  CXK-means / PK-means / XK-means and print the resulting clusters;
+  CXK-means / PK-means / XK-means and print the resulting clusters
+  (``--save-model DIR`` persists the fitted model for serving);
+* ``cxk classify`` -- classify XML documents against a saved model;
+* ``cxk serve`` -- serve a saved model (stdin line protocol or HTTP);
 * ``cxk figure7`` / ``cxk table1`` / ``cxk table2`` / ``cxk figure8`` --
   regenerate the paper's tables and figures as text reports;
 * ``cxk datasets`` -- print the profile of the synthetic corpora.
@@ -258,11 +261,88 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         print(f"simulated : {result.simulated_seconds:.2f}s over {args.peers} peers")
     if reference is not None:
         print(f"F-measure : {overall_f_measure(result.partition(), reference):.3f}")
+    if args.save_model:
+        from repro.core.model_store import ModelStoreError, save_model
+
+        try:
+            save_model(
+                args.save_model,
+                result,
+                config,
+                dataset=dataset,
+                engine=algorithm.engine,
+            )
+            print(f"model     : saved -> {args.save_model}")
+        except ModelStoreError as error:
+            # persistence is best effort: the clustering itself succeeded
+            print(f"model     : error ({error})")
     rows = [
         [cluster.cluster_id, cluster.size(), ", ".join(cluster.member_ids()[:4]) + ("..." if cluster.size() > 4 else "")]
         for cluster in result.clusters
     ]
     print(format_table(["cluster", "size", "sample members"], rows))
+    return 0
+
+
+def _load_cluster_model(args: argparse.Namespace):
+    """Load the model named by ``--model`` or exit with a clean message."""
+    from repro.core.model_store import ModelStoreError, load_model
+
+    try:
+        return load_model(args.model, backend=args.backend)
+    except (ModelStoreError, BackendUnavailableError, ValueError) as error:
+        raise SystemExit(f"error: {error}") from error
+
+
+def _print_model_header(model) -> None:
+    """Print the shared model banner of ``classify`` / ``serve``."""
+    stats = model.stats()
+    print(f"model     : {model.directory}")
+    print(f"backend   : {model.engine.backend_name}")
+    print(
+        "store     : {store} (compiled {compiled} transactions)".format(
+            store=stats["store"], compiled=stats["corpus_compile_count"]
+        )
+    )
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    model = _load_cluster_model(args)
+    try:
+        _print_model_header(model)
+        for path in args.files:
+            try:
+                result = model.classify_file(path)
+            except OSError as error:
+                raise SystemExit(f"error: {error}") from error
+            print(
+                f"{path}: cluster={result.cluster_id} "
+                f"score={result.score:.4f} transactions={result.transactions}"
+            )
+    finally:
+        model.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import serve_http, serve_stdin
+
+    model = _load_cluster_model(args)
+    try:
+        _print_model_header(model)
+        if args.port is None:
+            print("serving   : stdin (one XML file path per line)")
+            serve_stdin(model, sys.stdin, sys.stdout)
+        else:
+            print(f"serving   : http://{args.host}:{args.port} (POST /classify)")
+            serve_http(
+                model, host=args.host, port=args.port,
+                max_requests=args.max_requests,
+            )
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        model.close()
     return 0
 
 
@@ -344,8 +424,59 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--scale", type=float, default=0.5)
     cluster_parser.add_argument("--seed", type=int, default=0)
     cluster_parser.add_argument("--max-iterations", type=int, default=6)
+    cluster_parser.add_argument(
+        "--save-model",
+        default=None,
+        metavar="DIR",
+        help="persist the fitted model (representatives, config, registries, "
+        "corpus-store linkage) to DIR for later `cxk classify` / `cxk serve`",
+    )
     _add_backend_argument(cluster_parser)
     cluster_parser.set_defaults(handler=_cmd_cluster)
+
+    classify_parser = subparsers.add_parser(
+        "classify", help="classify XML documents against a saved model"
+    )
+    classify_parser.add_argument(
+        "--model", required=True, metavar="DIR", help="model directory (from --save-model)"
+    )
+    classify_parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME[:OPTIONS]",
+        help="override the backend spec recorded in the model manifest",
+    )
+    classify_parser.add_argument("files", nargs="+", metavar="FILE", help="XML files")
+    classify_parser.set_defaults(handler=_cmd_classify)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve a saved model (stdin line protocol or HTTP)"
+    )
+    serve_parser.add_argument(
+        "--model", required=True, metavar="DIR", help="model directory (from --save-model)"
+    )
+    serve_parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME[:OPTIONS]",
+        help="override the backend spec recorded in the model manifest",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve HTTP on this port (default: stdin line protocol)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="HTTP bind host")
+    serve_parser.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N HTTP requests (smoke runs; default: serve forever)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     figure7_parser = subparsers.add_parser("figure7", help="reproduce Figure 7")
     _add_common_experiment_arguments(figure7_parser)

@@ -47,6 +47,7 @@ from repro.network.mpengine import (
 from repro.network.peer import make_peers
 from repro.network.simnet import SimulatedNetwork
 from repro.similarity.cache import TagPathSimilarityCache
+from repro.similarity.corpus_store import CorpusStoreError
 from repro.similarity.transaction import SimilarityEngine
 from repro.transactions.transaction import Transaction
 
@@ -88,6 +89,12 @@ class LocalPhaseOutput:
     compute_seconds:
         Wall-clock time spent inside the phase (used by the simulated
         network's parallel-time model).
+    store_fallback:
+        1 when the phase was given a ``store_dir`` but attaching the
+        compiled-corpus store failed and the peer recompiled its partition
+        from scratch; 0 otherwise.  Aggregated into the fit metadata so a
+        broken store surfaces in run records instead of hiding as a quiet
+        slowdown.
     """
 
     peer_id: int
@@ -95,6 +102,7 @@ class LocalPhaseOutput:
     local_representatives: List[Transaction]
     cluster_sizes: List[int]
     compute_seconds: float
+    store_fallback: int = 0
 
 
 def run_local_phase(
@@ -126,17 +134,22 @@ def run_local_phase(
     start = time.perf_counter()
     config = phase_input.config
     local_engine = engine
+    store_fallback = 0
     if local_engine is None:
         if phase_input.store_dir is not None:
             # worker processes of a store-backed run share the on-disk
-            # compiled corpus instead of recompiling their partition
+            # compiled corpus instead of recompiling their partition; only
+            # expected store failures (corrupt/evicted/unreadable store)
+            # degrade to a local recompile -- anything else is a real bug
+            # and must propagate
             try:
                 local_engine = store_process_engine(
                     config.similarity,
                     config.effective_backend,
                     phase_input.store_dir,
                 )
-            except Exception:
+            except (CorpusStoreError, OSError):
+                store_fallback = 1
                 local_engine = None
         if local_engine is None:
             local_engine = process_engine(
@@ -191,6 +204,7 @@ def run_local_phase(
         local_representatives=local_representatives,
         cluster_sizes=cluster_sizes,
         compute_seconds=time.perf_counter() - start,
+        store_fallback=store_fallback,
     )
 
 
@@ -366,6 +380,7 @@ class CXKMeans:
             [None] * k for _ in range(m)
         ]
         last_outputs: List[Optional[LocalPhaseOutput]] = [None] * m
+        store_fallbacks = 0
 
         iterations = 0
         converged = False
@@ -410,6 +425,7 @@ class CXKMeans:
             for output in outputs:
                 network.stats.record_compute(output.peer_id, output.compute_seconds)
                 last_outputs[output.peer_id] = output
+                store_fallbacks += output.store_fallback
 
             # -- flags and exchange of local representatives ------------------- #
             flags: List[str] = []
@@ -536,5 +552,6 @@ class CXKMeans:
                 "gamma": self.config.gamma,
                 "transactions": total_transactions,
                 "partition_sizes": [len(partition) for partition in partitions],
+                "store_fallback": store_fallbacks,
             },
         )

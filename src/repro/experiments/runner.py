@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import ClusteringConfig
@@ -72,6 +73,18 @@ class RunRecord:
     #: with up-front precomputation the misses stay at their precompute
     #: level, which is the behaviour Sec. 4.3.2 prescribes.
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Compiled-corpus store status of the run (``off`` / ``unsupported`` /
+    #: ``hit`` / ``miss`` / ``error``; see
+    #: :func:`repro.similarity.corpus_store.prepare_engine_corpus`).
+    store: str = "off"
+    #: Number of worker local phases that were given a store but had to
+    #: recompile after a failed attach (CXK-means store-backed runs; a
+    #: nonzero count flags a broken store that would otherwise hide as a
+    #: quiet slowdown).
+    store_fallback: int = 0
+    #: Fitted-model persistence outcome (``{"model": "off"}`` when auto-save
+    #: was not requested, else ``saved``/``error`` with the directory).
+    model: Dict[str, object] = field(default_factory=lambda: {"model": "off"})
 
     def as_dict(self) -> Dict[str, object]:
         return dict(self.__dict__)
@@ -153,8 +166,16 @@ def run_configuration(
     batch_block_items: Optional[int] = None,
     refine_workers: Optional[int] = None,
     corpus_cache_dir: Optional[str] = None,
+    save_model_dir: Optional[str] = None,
 ) -> RunRecord:
-    """Run one clustering configuration and score it against the ground truth."""
+    """Run one clustering configuration and score it against the ground truth.
+
+    When *save_model_dir* is given, the fitted model (representatives,
+    config, registries, corpus-store linkage) is persisted there through
+    :func:`repro.core.model_store.save_model`; persistence failures degrade
+    to an ``error`` entry in the record's ``model`` field instead of
+    failing the run.
+    """
     labeling = GOAL_LABELING[goal]
     reference = dataset.labels_for(labeling)
     if k is None:
@@ -171,7 +192,7 @@ def run_configuration(
     )
     algo = make_algorithm(algorithm, config, cost_model=cost_model)
     try:
-        precompute_similarity(algo, dataset.transactions)
+        store_status = precompute_similarity(algo, dataset.transactions)
         if isinstance(algo, XKMeans):
             result = algo.fit(dataset.transactions)
         else:
@@ -183,6 +204,21 @@ def run_configuration(
         backend_object = algo.engine._backend
         if hasattr(backend_object, "close"):
             backend_object.close()
+    model_status: Dict[str, object] = {"model": "off"}
+    if save_model_dir is not None:
+        from repro.core.model_store import ModelStoreError, save_model
+
+        try:
+            save_model(
+                save_model_dir, result, config, dataset=dataset, engine=algo.engine
+            )
+            model_status = {"model": "saved", "directory": str(save_model_dir)}
+        except ModelStoreError as error:
+            model_status = {
+                "model": "error",
+                "directory": str(save_model_dir),
+                "error": str(error),
+            }
     f_measure = overall_f_measure(result.partition(), reference)
     network = result.network or {}
     return RunRecord(
@@ -206,6 +242,9 @@ def run_configuration(
         messages=network.get("messages", 0.0),
         backend=backend,
         cache_stats=algo.engine.cache.stats(),
+        store=str(store_status.get("store", "off")),
+        store_fallback=int(result.metadata.get("store_fallback", 0)),
+        model=model_status,
     )
 
 
@@ -272,6 +311,10 @@ class ExperimentSweep:
     #: every sweep cell over the same (dataset, scale, similarity) reuses
     #: one exported compilation instead of recompiling per run.
     corpus_cache_dir: Optional[str] = None
+    #: Root directory for fitted-model auto-save (``None`` = off); each run
+    #: persists its model under ``<root>/<dataset>-<algo>-n<nodes>-f<f>-s<seed>``
+    #: for later serving (``repro serve`` / ``repro classify``).
+    save_model_dir: Optional[str] = None
 
     def effective_f_values(self) -> List[float]:
         if self.f_values is not None:
@@ -289,6 +332,15 @@ class ExperimentSweep:
                 records: List[RunRecord] = []
                 for f in self.effective_f_values():
                     for seed in self.seeds:
+                        save_model_dir = None
+                        if self.save_model_dir is not None:
+                            cell = (
+                                f"{dataset_name}-{self.algorithm}"
+                                f"-n{nodes}-f{f}-s{seed}"
+                            )
+                            save_model_dir = str(
+                                Path(self.save_model_dir) / cell
+                            )
                         records.append(
                             run_configuration(
                                 dataset,
@@ -306,6 +358,7 @@ class ExperimentSweep:
                                 batch_block_items=self.batch_block_items,
                                 refine_workers=self.refine_workers,
                                 corpus_cache_dir=self.corpus_cache_dir,
+                                save_model_dir=save_model_dir,
                             )
                         )
                 aggregates.append(aggregate_records(records))

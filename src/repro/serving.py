@@ -1,0 +1,155 @@
+"""Thin serving layer over a loaded :class:`~repro.core.model_store.ClusterModel`.
+
+Three ways to serve classification queries, all sharing one warm model:
+
+- :func:`make_wsgi_app` -- a dependency-free WSGI application
+  (``POST /classify`` with an XML body -> JSON verdict; ``GET /healthz``
+  -> serving stats), mountable under any WSGI server.
+- :func:`serve_http` -- the same app on :mod:`wsgiref.simple_server`
+  (``repro serve --model DIR --port N``).
+- :func:`serve_stdin` -- a line protocol for batch/pipe use
+  (``repro serve --model DIR``): each input line names an XML file, each
+  output line is the JSON classify verdict.
+
+Every response reports the latency of its own classify call, so a load
+generator (``benchmarks/bench_serving.py``) can build latency histograms
+without instrumenting the server.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Iterable, List, Optional, TextIO
+
+from repro.core.model_store import ClusterModel
+from repro.xmlmodel.errors import XMLError
+
+#: Upper bound on accepted XML request bodies (16 MiB) -- a guard against
+#: unbounded reads, not a tuning knob.
+MAX_REQUEST_BYTES = 16 * 1024 * 1024
+
+
+def _json_bytes(payload: dict) -> bytes:
+    """Encode a response payload as UTF-8 JSON."""
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def classify_payload(model: ClusterModel, xml_text: str, doc_id: Optional[str] = None) -> dict:
+    """Classify *xml_text* and return the JSON-safe response payload.
+
+    The payload is the :meth:`ClassifyResult.to_dict` encoding plus the
+    latency of this call in milliseconds.
+    """
+    start = time.perf_counter()
+    result = model.classify(xml_text, doc_id=doc_id)
+    payload = result.to_dict()
+    payload["latency_ms"] = (time.perf_counter() - start) * 1000.0
+    return payload
+
+
+def make_wsgi_app(model: ClusterModel) -> Callable:
+    """Build a WSGI application serving classify queries against *model*.
+
+    Routes:
+
+    - ``POST /classify`` (or ``POST /``): body is an XML document; the
+      response is the classify verdict as JSON.  Malformed XML answers
+      ``400`` with an ``error`` field instead of failing the worker.
+    - ``GET /healthz`` (or ``GET /`` / ``GET /stats``): serving stats
+      (store status, query counters, backend spec).
+    """
+
+    def app(environ, start_response) -> Iterable[bytes]:
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/") or "/"
+        if method == "GET" and path in ("/", "/healthz", "/stats"):
+            body = _json_bytes({"status": "ok", **model.stats()})
+            start_response(
+                "200 OK", [("Content-Type", "application/json"),
+                           ("Content-Length", str(len(body)))]
+            )
+            return [body]
+        if method == "POST" and path in ("/", "/classify"):
+            try:
+                length = int(environ.get("CONTENT_LENGTH") or 0)
+            except ValueError:
+                length = 0
+            length = min(length, MAX_REQUEST_BYTES)
+            raw = environ["wsgi.input"].read(length) if length else b""
+            try:
+                payload = classify_payload(model, raw.decode("utf-8"))
+                status, body = "200 OK", _json_bytes(payload)
+            except (XMLError, UnicodeDecodeError) as error:
+                status = "400 Bad Request"
+                body = _json_bytes({"error": str(error)})
+            start_response(
+                status, [("Content-Type", "application/json"),
+                         ("Content-Length", str(len(body)))]
+            )
+            return [body]
+        body = _json_bytes({"error": f"no route for {method} {path}"})
+        start_response(
+            "404 Not Found", [("Content-Type", "application/json"),
+                              ("Content-Length", str(len(body)))]
+        )
+        return [body]
+
+    return app
+
+
+def serve_stdin(
+    model: ClusterModel,
+    input_stream: TextIO,
+    output_stream: TextIO,
+) -> int:
+    """Serve the line protocol: one XML file path in, one JSON verdict out.
+
+    Blank lines are skipped; per-line errors (unreadable file, malformed
+    XML) become JSON ``error`` lines so one bad document cannot kill a
+    pipe.  Returns the number of lines answered.
+    """
+    answered = 0
+    for line in input_stream:
+        path = line.strip()
+        if not path:
+            continue
+        try:
+            start = time.perf_counter()
+            result = model.classify_file(path)
+            payload = result.to_dict()
+            payload["latency_ms"] = (time.perf_counter() - start) * 1000.0
+            payload["file"] = path
+        except (OSError, XMLError) as error:
+            payload = {"file": path, "error": str(error)}
+        output_stream.write(json.dumps(payload) + "\n")
+        output_stream.flush()
+        answered += 1
+    return answered
+
+
+def serve_http(
+    model: ClusterModel,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    max_requests: Optional[int] = None,
+) -> None:
+    """Serve the WSGI app on :mod:`wsgiref.simple_server`.
+
+    *max_requests* bounds the number of handled requests (used by tests
+    and smoke runs); ``None`` serves forever.
+    """
+    from wsgiref.simple_server import WSGIRequestHandler, make_server
+
+    class _QuietHandler(WSGIRequestHandler):
+        """Request handler without per-request stderr chatter."""
+
+        def log_message(self, format, *args):  # noqa: A002 - WSGI signature
+            """Suppress the default access log."""
+
+    with make_server(host, port, make_wsgi_app(model), handler_class=_QuietHandler) as server:
+        if max_requests is None:
+            server.serve_forever()
+        else:
+            for _ in range(max_requests):
+                server.handle_request()

@@ -499,8 +499,18 @@ def prepare_engine_corpus(
             engine.cache,
             fingerprint=fingerprint,
         )
-    except OSError as error:
-        return {"store": "error", "compiled": compiled, "error": str(error)}
+    except (OSError, pickle.PickleError, TypeError, ValueError) as error:
+        # pickle/json encoding failures degrade exactly like an unwritable
+        # directory: the run keeps its compiled in-memory engine; the
+        # fingerprint and target directory make the failure debuggable
+        # from the run record alone
+        return {
+            "store": "error",
+            "compiled": compiled,
+            "error": str(error),
+            "fingerprint": fingerprint,
+            "directory": str(directory),
+        }
     backend.attach_store(store, transactions)
     return {
         "store": "miss",

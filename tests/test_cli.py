@@ -18,6 +18,8 @@ class TestParser:
         assert set(subparsers.choices) == {
             "datasets",
             "cluster",
+            "classify",
+            "serve",
             "figure7",
             "figure8",
             "table1",

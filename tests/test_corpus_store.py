@@ -304,6 +304,34 @@ class TestInvalidation:
         # the run still got a compiled engine; only the export failed
         assert status["store"] == "error"
         assert status["compiled"] == len(dblp_small.transactions)
+        # the error record names what failed where: fingerprint + target
+        # directory make a failed save debuggable from run records alone
+        assert status["fingerprint"] == corpus_fingerprint(
+            dblp_small.transactions, SIMILARITY
+        )
+        assert status["directory"] == str(
+            store_directory(blocker / "cache", status["fingerprint"])
+        )
+
+    def test_pickle_failure_during_save_degrades_to_error_status(
+        self, dblp_small, tmp_path, monkeypatch
+    ):
+        # a pickling/encoding failure inside CorpusStore.save must degrade
+        # exactly like an unwritable directory, not kill the run
+        import pickle
+
+        def refuse_to_pickle(*args, **kwargs):
+            raise pickle.PicklingError("unpicklable corpus")
+
+        monkeypatch.setattr(corpus_store.pickle, "dump", refuse_to_pickle)
+        status = prepare_engine_corpus(
+            make_engine(), dblp_small.transactions, cache_dir=tmp_path
+        )
+        assert status["store"] == "error"
+        assert "unpicklable corpus" in status["error"]
+        assert status["compiled"] == len(dblp_small.transactions)
+        assert status["fingerprint"]
+        assert status["directory"].startswith(str(tmp_path))
 
     def test_store_off_and_unsupported_statuses(self, dblp_small, tmp_path):
         off = prepare_engine_corpus(make_engine(), dblp_small.transactions)

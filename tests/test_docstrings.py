@@ -16,6 +16,8 @@ Covered modules (the ISSUE's documented public API):
 * ``repro.network.mpengine`` -- executors, shards, per-process engines
 * ``repro.core.config`` -- :class:`~repro.core.config.ClusteringConfig`
 * ``repro.similarity.corpus_store`` -- the persistent compiled-corpus store
+* ``repro.core.model_store`` -- fitted-model persistence + warm queries
+* ``repro.serving`` -- the stdin / WSGI / HTTP serving layer
 """
 
 from __future__ import annotations
@@ -27,8 +29,10 @@ from typing import Iterator, List, Tuple
 import pytest
 
 import repro.core.config
+import repro.core.model_store
 import repro.core.representatives
 import repro.network.mpengine
+import repro.serving
 import repro.similarity.backend
 import repro.similarity.corpus_store
 import repro.similarity.torch_backend
@@ -40,6 +44,8 @@ DOCUMENTED_MODULES = [
     repro.network.mpengine,
     repro.core.config,
     repro.similarity.corpus_store,
+    repro.core.model_store,
+    repro.serving,
 ]
 
 

@@ -1,0 +1,308 @@
+"""Tests for the serving layer (WSGI app, stdin protocol, CLI commands).
+
+Pin the thin serving surface over a loaded model: the WSGI routes and
+error statuses, the stdin line protocol (one XML file path in, one JSON
+verdict out, per-line error isolation), the live HTTP server, and the
+``cxk cluster --save-model`` / ``cxk classify`` / ``cxk serve`` CLI flows
+including the grep-able ``store     : hit`` banner the CI smoke asserts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.cli import main
+from repro.core.config import ClusteringConfig
+from repro.core.model_store import load_model, save_model
+from repro.core.xkmeans import XKMeans
+from repro.datasets.registry import get_corpus, get_dataset
+from repro.network.mpengine import clear_process_engines
+from repro.serving import (
+    classify_payload,
+    make_wsgi_app,
+    serve_http,
+    serve_stdin,
+)
+from repro.similarity.corpus_store import clear_store_cache, prepare_engine_corpus
+from repro.similarity.item import SimilarityConfig
+from repro.xmlmodel.serializer import serialize
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    """Start and end every test with empty engine and store caches."""
+    clear_process_engines()
+    clear_store_cache()
+    yield
+    clear_process_engines()
+    clear_store_cache()
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory):
+    """A fitted, store-backed model directory shared by the module."""
+    root = tmp_path_factory.mktemp("serving")
+    dataset = get_dataset("DBLP", scale=0.2, seed=0)
+    config = ClusteringConfig(
+        k=4,
+        similarity=SimilarityConfig(f=0.5, gamma=0.8),
+        seed=0,
+        max_iterations=3,
+        backend="numpy",
+        corpus_cache_dir=str(root / "cache"),
+    )
+    algorithm = XKMeans(config)
+    prepare_engine_corpus(
+        algorithm.engine, dataset.transactions, cache_dir=root / "cache"
+    )
+    result = algorithm.fit(dataset.transactions)
+    save_model(
+        root / "model", result, config, dataset=dataset, engine=algorithm.engine
+    )
+    return root / "model"
+
+
+@pytest.fixture(scope="module")
+def xml_files(tmp_path_factory):
+    """A few corpus documents serialized to disk for file-based queries."""
+    root = tmp_path_factory.mktemp("xml-docs")
+    paths = []
+    for tree in get_corpus("DBLP", scale=0.2, seed=0).trees[:3]:
+        path = root / f"{tree.doc_id}.xml"
+        path.write_text(serialize(tree), encoding="utf-8")
+        paths.append(path)
+    return paths
+
+
+def fetch_with_retry(url, data=None, method="GET", attempts=100):
+    """GET/POST *url*, retrying while the server socket is not yet bound."""
+    import time
+    import urllib.error
+
+    request = urllib.request.Request(url, data=data, method=method)
+    for attempt in range(attempts):
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.URLError:
+            if attempt == attempts - 1:
+                raise
+            time.sleep(0.05)
+
+
+def free_port():
+    """An ephemeral localhost port number."""
+    import socket
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def call_wsgi(app, method="GET", path="/", body=b""):
+    """Invoke a WSGI app directly; return (status, parsed JSON body)."""
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "CONTENT_LENGTH": str(len(body)),
+        "wsgi.input": io.BytesIO(body),
+    }
+    chunks = b"".join(app(environ, start_response))
+    return captured["status"], json.loads(chunks.decode("utf-8"))
+
+
+class TestWsgiApp:
+    def test_health_route_reports_stats(self, model_dir):
+        model = load_model(model_dir)
+        status, payload = call_wsgi(make_wsgi_app(model), "GET", "/healthz")
+        assert status == "200 OK"
+        assert payload["status"] == "ok"
+        assert payload["store"] == "hit"
+        assert payload["corpus_compile_count"] == 0
+
+    def test_classify_route_returns_a_verdict(self, model_dir):
+        model = load_model(model_dir)
+        document = serialize(get_corpus("DBLP", scale=0.2, seed=0).trees[0])
+        status, payload = call_wsgi(
+            make_wsgi_app(model), "POST", "/classify", document.encode("utf-8")
+        )
+        assert status == "200 OK"
+        assert payload["cluster_id"] >= -1
+        assert payload["transactions"] >= 1
+        assert payload["latency_ms"] >= 0.0
+        assert payload["assignments"]
+
+    def test_malformed_xml_answers_400(self, model_dir):
+        model = load_model(model_dir)
+        status, payload = call_wsgi(
+            make_wsgi_app(model), "POST", "/classify", b"<broken"
+        )
+        assert status == "400 Bad Request"
+        assert "error" in payload
+
+    def test_unknown_route_answers_404(self, model_dir):
+        model = load_model(model_dir)
+        status, payload = call_wsgi(make_wsgi_app(model), "GET", "/nope")
+        assert status == "404 Not Found"
+        assert "error" in payload
+
+    def test_classify_payload_reports_latency(self, model_dir):
+        model = load_model(model_dir)
+        document = serialize(get_corpus("DBLP", scale=0.2, seed=0).trees[1])
+        payload = classify_payload(model, document)
+        assert payload["latency_ms"] > 0.0
+        assert payload["cluster_id"] >= -1
+
+
+class TestStdinProtocol:
+    def test_lines_in_verdicts_out(self, model_dir, xml_files):
+        model = load_model(model_dir)
+        source = io.StringIO(
+            f"{xml_files[0]}\n\n{xml_files[1]}\n{xml_files[0].parent}/missing.xml\n"
+        )
+        sink = io.StringIO()
+        answered = serve_stdin(model, source, sink)
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert answered == 3
+        assert lines[0]["file"] == str(xml_files[0])
+        assert lines[0]["cluster_id"] >= -1
+        assert lines[1]["cluster_id"] >= -1
+        # a missing file yields an error line, not a crash
+        assert "error" in lines[2]
+
+
+class TestHttpServer:
+    def test_live_server_answers_health_and_classify(self, model_dir, xml_files):
+        port = free_port()
+        model = load_model(model_dir)
+        server = threading.Thread(
+            target=serve_http,
+            kwargs=dict(model=model, host="127.0.0.1", port=port, max_requests=2),
+            daemon=True,
+        )
+        server.start()
+        health = fetch_with_retry(f"http://127.0.0.1:{port}/healthz")
+        assert health["status"] == "ok"
+        verdict = fetch_with_retry(
+            f"http://127.0.0.1:{port}/classify",
+            data=xml_files[0].read_bytes(),
+            method="POST",
+        )
+        assert verdict["cluster_id"] >= -1
+        server.join(timeout=10)
+        assert not server.is_alive()
+
+
+class TestCli:
+    def test_cluster_save_model_then_classify(
+        self, tmp_path, xml_files, capsys
+    ):
+        status = main(
+            [
+                "cluster",
+                "--corpus",
+                "DBLP",
+                "--scale",
+                "0.2",
+                "--algorithm",
+                "xk",
+                "--backend",
+                "numpy",
+                "--max-iterations",
+                "2",
+                "--corpus-cache",
+                str(tmp_path / "cache"),
+                "--save-model",
+                str(tmp_path / "model"),
+            ]
+        )
+        assert status == 0
+        assert f"model     : saved -> {tmp_path / 'model'}" in capsys.readouterr().out
+        clear_store_cache()
+        status = main(
+            ["classify", "--model", str(tmp_path / "model"), str(xml_files[0])]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "store     : hit (compiled 0 transactions)" in out
+        assert f"{xml_files[0]}: cluster=" in out
+
+    def test_cluster_save_model_degrades_on_unwritable_dir(
+        self, tmp_path, capsys
+    ):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file in the way", encoding="utf-8")
+        status = main(
+            [
+                "cluster",
+                "--corpus",
+                "DBLP",
+                "--scale",
+                "0.2",
+                "--algorithm",
+                "xk",
+                "--backend",
+                "numpy",
+                "--max-iterations",
+                "2",
+                "--save-model",
+                str(blocker / "model"),
+            ]
+        )
+        assert status == 0
+        assert "model     : error" in capsys.readouterr().out
+
+    def test_classify_of_a_missing_model_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="error:"):
+            main(["classify", "--model", str(tmp_path / "absent"), "x.xml"])
+
+    def test_serve_stdin_round_trip(
+        self, model_dir, xml_files, capsys, monkeypatch
+    ):
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(f"{xml_files[0]}\n"))
+        status = main(["serve", "--model", str(model_dir)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "serving   : stdin" in out
+        verdict = json.loads(out.splitlines()[-1])
+        assert verdict["cluster_id"] >= -1
+
+    def test_serve_http_smoke(self, model_dir, capsys):
+        port = free_port()
+
+        fetcher = threading.Thread(
+            target=fetch_with_retry,
+            args=(f"http://127.0.0.1:{port}/healthz",),
+            daemon=True,
+        )
+        fetcher.start()
+        status = main(
+            [
+                "serve",
+                "--model",
+                str(model_dir),
+                "--port",
+                str(port),
+                "--max-requests",
+                "1",
+            ]
+        )
+        fetcher.join(timeout=10)
+        assert status == 0
+        assert "serving   : http://127.0.0.1" in capsys.readouterr().out
