@@ -92,6 +92,39 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--network",
+        default="sim",
+        choices=["sim", "real"],
+        help="transport of the collaborative rounds: 'sim' runs the peers "
+        "sequentially on the simulated network (cost-model timing), 'real' "
+        "runs every peer as a concurrent process over localhost TCP and "
+        "reports measured wire bytes and wall-clock next to the cost-model "
+        "predictions (CXK-means only; default: sim)",
+    )
+    parser.add_argument(
+        "--network-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-round deadline of the real transport: a stalled or dead "
+        "peer fails the run with an actionable error within this bound "
+        "instead of hanging (default: %(default)s -> the ClusteringConfig "
+        "default)",
+    )
+
+
+def _resolve_network_timeout(args: argparse.Namespace) -> Optional[float]:
+    """Validate and return ``--network-timeout`` (None = config default)."""
+    network_timeout = getattr(args, "network_timeout", None)
+    if network_timeout is not None and network_timeout <= 0:
+        raise SystemExit(
+            f"--network-timeout must be positive, got {network_timeout}"
+        )
+    return network_timeout
+
+
 def _resolve_backend(args: argparse.Namespace) -> str:
     """Combine ``--backend`` and ``--shard-workers`` into a validated spec.
 
@@ -209,6 +242,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     # resolve (and validate) the backend before loading any corpus, so an
     # unavailable backend fails immediately with its actionable message
     backend = _resolve_backend(args)
+    network = getattr(args, "network", "sim")
+    network_timeout = _resolve_network_timeout(args)
+    if network == "real" and args.algorithm != "cxk":
+        raise SystemExit(
+            "--network real is implemented for CXK-means only; drop the "
+            "flag or use --algorithm cxk"
+        )
     if args.xml_dir:
         trees = _load_xml_directory(args.xml_dir)
         dataset = build_dataset(os.path.basename(args.xml_dir.rstrip("/")), trees)
@@ -227,6 +267,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         batch_block_items=_resolve_batch_block_items(args),
         refine_workers=_resolve_refine_workers(args),
         corpus_cache_dir=args.corpus_cache,
+        network=network,
+        **({"network_timeout": network_timeout} if network_timeout is not None else {}),
     )
     algorithm = make_algorithm(args.algorithm, config)
     # populate the tag-path cache (and compile the backend corpus) up front,
@@ -244,6 +286,18 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     cache_stats = algorithm.engine.cache.stats()
     print(f"algorithm : {result.metadata.get('algorithm')}")
     print(f"backend   : {backend}")
+    network_stats = result.network or {}
+    if network == "real":
+        print(
+            "network   : real (wire_bytes={wire} control_bytes={control} "
+            "measured_wall={wall:.2f}s)".format(
+                wire=int(network_stats.get("wire_bytes", 0)),
+                control=int(network_stats.get("control_bytes", 0)),
+                wall=float(network_stats.get("measured_wall_seconds", 0.0)),
+            )
+        )
+    else:
+        print(f"network   : {network}")
     print(
         "cache     : entries={entries} hits={hits} misses={misses} "
         "precomputed={precomputed}".format(**cache_stats)
@@ -357,6 +411,8 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         batch_block_items=_resolve_batch_block_items(args),
         refine_workers=_resolve_refine_workers(args),
         corpus_cache_dir=args.corpus_cache,
+        network=getattr(args, "network", "sim"),
+        network_timeout=_resolve_network_timeout(args),
     )
     print(run_figure7(config).report())
     return 0
@@ -390,6 +446,8 @@ def _cmd_table(args: argparse.Namespace, table_number: int) -> int:
         batch_block_items=_resolve_batch_block_items(args),
         refine_workers=_resolve_refine_workers(args),
         corpus_cache_dir=args.corpus_cache,
+        network=getattr(args, "network", "sim"),
+        network_timeout=_resolve_network_timeout(args),
     )
     if table_number == 1:
         result = run_table1(config)
@@ -432,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
         "corpus-store linkage) to DIR for later `cxk classify` / `cxk serve`",
     )
     _add_backend_argument(cluster_parser)
+    _add_network_arguments(cluster_parser)
     cluster_parser.set_defaults(handler=_cmd_cluster)
 
     classify_parser = subparsers.add_parser(
@@ -480,6 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure7_parser = subparsers.add_parser("figure7", help="reproduce Figure 7")
     _add_common_experiment_arguments(figure7_parser)
+    # Figure 8 compares CXK-means against PK-means, which only runs on the
+    # simulated network -- the transport switch is deliberately absent there.
+    _add_network_arguments(figure7_parser)
     figure7_parser.set_defaults(handler=_cmd_figure7)
 
     figure8_parser = subparsers.add_parser("figure8", help="reproduce Figure 8")
@@ -489,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     for number in (1, 2):
         table_parser = subparsers.add_parser(f"table{number}", help=f"reproduce Table {number}")
         _add_common_experiment_arguments(table_parser)
+        _add_network_arguments(table_parser)
         table_parser.add_argument(
             "--goals",
             nargs="+",

@@ -85,6 +85,23 @@ class ClusteringConfig:
         of recompiling -- shard worker processes and simulated peers then
         share one set of mapped pages.  Backends without compiled corpora
         (the ``python`` reference) ignore the setting.
+    network:
+        Transport running the collaborative rounds of CXK-means:
+        ``"sim"`` (default) executes the peers sequentially on the
+        round-based :class:`~repro.network.simnet.SimulatedNetwork` with
+        cost-model timing; ``"real"`` runs every peer as a genuinely
+        concurrent process exchanging the same message types over
+        localhost TCP (:class:`~repro.network.realnet.RealNetwork`),
+        recording measured wire bytes and wall-clock alongside the
+        cost-model predictions.  Both transports produce bit-identical
+        clusterings for the same seed.
+    network_timeout:
+        Deadline in seconds for one collaborative round of the real
+        transport (and for the worker handshake); a stalled or dead peer
+        surfaces as an actionable
+        :class:`~repro.network.realnet.RealNetworkError` within this
+        bound instead of hanging the driver.  Ignored by the simulated
+        transport.
     """
 
     k: int
@@ -96,6 +113,8 @@ class ClusteringConfig:
     batch_block_items: Optional[int] = None
     refine_workers: Optional[int] = None
     corpus_cache_dir: Optional[str] = None
+    network: str = "sim"
+    network_timeout: float = 120.0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -112,6 +131,14 @@ class ClusteringConfig:
         if self.refine_workers is not None and self.refine_workers < 1:
             raise ValueError(
                 f"refine_workers must be positive, got {self.refine_workers}"
+            )
+        if self.network not in ("sim", "real"):
+            raise ValueError(
+                f'network must be "sim" or "real", got {self.network!r}'
+            )
+        if self.network_timeout <= 0:
+            raise ValueError(
+                f"network_timeout must be positive, got {self.network_timeout}"
             )
         # fail at config-resolution time, not deep inside a fit: unknown
         # backends raise ValueError, missing optional dependencies raise
@@ -220,3 +247,11 @@ class ClusteringConfig:
     ) -> "ClusteringConfig":
         """Return a copy with a different compiled-corpus store directory."""
         return replace(self, corpus_cache_dir=corpus_cache_dir)
+
+    def with_network(
+        self, network: str, network_timeout: Optional[float] = None
+    ) -> "ClusteringConfig":
+        """Return a copy running on a different transport (``sim``/``real``)."""
+        if network_timeout is None:
+            return replace(self, network=network)
+        return replace(self, network=network, network_timeout=network_timeout)

@@ -10,12 +10,21 @@ local cluster sizes) into new global representatives and broadcast them back.
 The process iterates until every peer reports that its local representatives
 no longer change.
 
-The peers are executed on a :class:`~repro.network.simnet.SimulatedNetwork`,
-which accounts every exchanged representative and models the parallel
-runtime of each round as ``max(per-peer compute time) + communication time``.
-Per-peer computation can optionally be executed by a
-:class:`~repro.network.mpengine.MultiprocessingExecutor` to obtain real
-parallelism on the host machine.
+The peers are executed on one of two drop-in interchangeable transports,
+selected by ``ClusteringConfig(network=...)``:
+
+* ``"sim"`` -- the :class:`~repro.network.simnet.SimulatedNetwork`, which
+  accounts every exchanged representative and models the parallel runtime
+  of each round as ``max(per-peer compute time) + communication time``.
+  Per-peer computation can optionally be executed by a
+  :class:`~repro.network.mpengine.MultiprocessingExecutor` to obtain real
+  parallelism on the host machine.
+* ``"real"`` -- the :class:`~repro.network.realnet.RealNetwork`, which runs
+  every peer as a genuinely concurrent process exchanging the same message
+  types over localhost TCP and records measured wire bytes and wall-clock
+  alongside the cost model's predictions.  The collaborative control flow
+  (rounds, flags, global merges) is identical, so both transports produce
+  bit-identical clusterings for the same seed.
 
 Startup (the role of node ``N0``) consists only of partitioning the cluster
 identifiers across peers and distributing ``(Z, k, gamma)``; as in the paper
@@ -251,6 +260,41 @@ class CXKMeans:
         return self._engine
 
     # ------------------------------------------------------------------ #
+    # Transport selection
+    # ------------------------------------------------------------------ #
+    def _make_network(self, peers, store_dir: Optional[str], phases: int):
+        """Build (and start) the transport selected by ``config.network``.
+
+        The real transport receives a per-worker configuration whose
+        refinement budget is split across the genuinely concurrent phases
+        (:func:`~repro.network.mpengine.split_refinement_budget`) -- the
+        worker processes are non-daemonic, so a budget > 1 still shards
+        refinement inside each peer without oversubscribing the host.
+        """
+        if self.config.network == "real":
+            # imported lazily: realnet pulls the codec stack in, which only
+            # real runs need
+            from repro.network.mpengine import split_refinement_budget
+            from repro.network.realnet import RealNetwork
+
+            worker_config = self.config.with_refine_workers(
+                split_refinement_budget(
+                    self.config.effective_refine_workers, phases
+                )
+            )
+            network = RealNetwork(
+                peers,
+                cost_model=self.cost_model,
+                phase_config=worker_config,
+                store_dir=store_dir,
+                connect_timeout=self.config.network_timeout,
+                round_timeout=self.config.network_timeout,
+            )
+            network.start()
+            return network
+        return SimulatedNetwork(peers, cost_model=self.cost_model)
+
+    # ------------------------------------------------------------------ #
     # Seeding
     # ------------------------------------------------------------------ #
     def _initial_global_representatives(
@@ -344,13 +388,52 @@ class CXKMeans:
         # shared engine, worker-process phases through its directory handle
         store = getattr(self._engine.backend, "attached_store", None)
         store_dir = str(store.directory) if store is not None else None
+        use_real = self.config.network == "real"
         peers = make_peers(
             partitions,
             responsibilities,
-            engine=self._engine if use_shared_engine else None,
+            # real-transport peers compute remotely; their driver-side
+            # objects carry no engine so nothing shadows the worker engines
+            engine=self._engine if (use_shared_engine and not use_real) else None,
             store=store,
         )
-        network = SimulatedNetwork(peers, cost_model=self.cost_model)
+        network = self._make_network(peers, store_dir, m)
+        try:
+            return self._collaborate(
+                network=network,
+                peers=peers,
+                partitions=partitions,
+                responsibilities=responsibilities,
+                phase_config=phase_config,
+                store_dir=store_dir,
+                refine_budget=refine_budget,
+                use_shared_engine=use_shared_engine,
+                rng=rng,
+                start=start,
+            )
+        finally:
+            # both transports expose close(); for the real network this
+            # shuts the worker processes down even when a round failed
+            network.close()
+
+    def _collaborate(
+        self,
+        *,
+        network,
+        peers,
+        partitions,
+        responsibilities,
+        phase_config,
+        store_dir,
+        refine_budget,
+        use_shared_engine,
+        rng,
+        start,
+    ) -> ClusteringResult:
+        """Run the collaborative rounds on an already-started transport."""
+        k = self.config.k
+        m = len(partitions)
+        total_transactions = sum(len(partition) for partition in partitions)
         with network.round():
             for peer in peers:
                 network.send(
@@ -413,17 +496,10 @@ class CXKMeans:
                 )
                 for peer in peers
             ]
-            if use_shared_engine:
-                # every simulated node works against the same engine and
-                # therefore against one shared compiled corpus
-                outputs = [
-                    run_local_phase(item, engine=peers[item.peer_id].engine)
-                    for item in inputs
-                ]
-            else:
-                outputs = self.executor.map(run_local_phase, inputs)
+            outputs = network.run_local_phases(
+                inputs, run_local_phase, self.executor
+            )
             for output in outputs:
-                network.stats.record_compute(output.peer_id, output.compute_seconds)
                 last_outputs[output.peer_id] = output
                 store_fallbacks += output.store_fallback
 

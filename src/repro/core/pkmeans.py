@@ -61,6 +61,12 @@ class PKMeans:
         executor=None,
         objective_tolerance: float = 1.0e-9,
     ) -> None:
+        if config.network == "real":
+            raise ValueError(
+                "the real transport (ClusteringConfig.network='real') is "
+                "implemented for CXK-means only; run PK-means on the "
+                "simulated network or switch to algorithm 'cxk'"
+            )
         self.config = config
         self.cost_model = cost_model or CostModel()
         self.executor = executor or SerialExecutor()

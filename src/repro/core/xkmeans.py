@@ -44,6 +44,12 @@ class XKMeans:
         config: ClusteringConfig,
         engine: Optional[SimilarityEngine] = None,
     ) -> None:
+        if config.network == "real":
+            raise ValueError(
+                "the real transport (ClusteringConfig.network='real') is "
+                "implemented for CXK-means only; the centralized XK-means "
+                "has no network at all"
+            )
         self.config = config
         self.engine = engine or SimilarityEngine(
             config.similarity,

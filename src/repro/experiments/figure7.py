@@ -51,6 +51,10 @@ class Figure7Config:
     refine_workers: Optional[int] = None
     #: Directory of the persistent compiled-corpus store (``None`` = off).
     corpus_cache_dir: Optional[str] = None
+    #: Transport of the collaborative rounds (``"sim"`` / ``"real"``).
+    network: str = "sim"
+    #: Per-round deadline of the real transport (``None`` = config default).
+    network_timeout: Optional[float] = None
 
 
 @dataclass
@@ -108,6 +112,8 @@ def run_figure7(config: Optional[Figure7Config] = None) -> Figure7Result:
                 batch_block_items=config.batch_block_items,
                 refine_workers=config.refine_workers,
                 corpus_cache_dir=config.corpus_cache_dir,
+                network=config.network,
+                network_timeout=config.network_timeout,
             )
             aggregates = sweep.run()
             runtime = pivot(aggregates, value="simulated_seconds")

@@ -85,6 +85,14 @@ class RunRecord:
     #: Fitted-model persistence outcome (``{"model": "off"}`` when auto-save
     #: was not requested, else ``saved``/``error`` with the directory).
     model: Dict[str, object] = field(default_factory=lambda: {"model": "off"})
+    #: Transport the collaborative rounds ran on (``sim`` / ``real``).
+    network: str = "sim"
+    #: Cost-model predictions next to transport measurements (real-transport
+    #: runs only; empty for simulated runs).  Keys: ``predicted_seconds`` /
+    #: ``predicted_communication_seconds`` from the cost model,
+    #: ``measured_wall_seconds`` / ``wire_bytes`` / ``control_bytes`` from
+    #: the wire (see :meth:`repro.network.realnet.RealNetwork.summary`).
+    predicted_vs_measured: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return dict(self.__dict__)
@@ -167,6 +175,8 @@ def run_configuration(
     refine_workers: Optional[int] = None,
     corpus_cache_dir: Optional[str] = None,
     save_model_dir: Optional[str] = None,
+    network: str = "sim",
+    network_timeout: Optional[float] = None,
 ) -> RunRecord:
     """Run one clustering configuration and score it against the ground truth.
 
@@ -175,6 +185,11 @@ def run_configuration(
     :func:`repro.core.model_store.save_model`; persistence failures degrade
     to an ``error`` entry in the record's ``model`` field instead of
     failing the run.
+
+    *network* selects the transport of the collaborative rounds (``"sim"``
+    / ``"real"``; CXK-means only for ``"real"``); real runs additionally
+    fill the record's ``predicted_vs_measured`` fields with the cost-model
+    predictions next to the measured wire bytes and wall-clock.
     """
     labeling = GOAL_LABELING[goal]
     reference = dataset.labels_for(labeling)
@@ -189,6 +204,12 @@ def run_configuration(
         batch_block_items=batch_block_items,
         refine_workers=refine_workers,
         corpus_cache_dir=corpus_cache_dir,
+        network=network,
+        **(
+            {"network_timeout": network_timeout}
+            if network_timeout is not None
+            else {}
+        ),
     )
     algo = make_algorithm(algorithm, config, cost_model=cost_model)
     try:
@@ -220,7 +241,20 @@ def run_configuration(
                 "error": str(error),
             }
     f_measure = overall_f_measure(result.partition(), reference)
-    network = result.network or {}
+    network_stats = result.network or {}
+    predicted_vs_measured: Dict[str, float] = {}
+    if "wire_bytes" in network_stats:
+        predicted_vs_measured = {
+            "predicted_seconds": float(network_stats.get("simulated_seconds", 0.0)),
+            "predicted_communication_seconds": float(
+                network_stats.get("communication_seconds", 0.0)
+            ),
+            "measured_wall_seconds": float(
+                network_stats.get("measured_wall_seconds", 0.0)
+            ),
+            "wire_bytes": float(network_stats.get("wire_bytes", 0.0)),
+            "control_bytes": float(network_stats.get("control_bytes", 0.0)),
+        }
     return RunRecord(
         dataset=dataset.name,
         algorithm=result.metadata.get("algorithm", algorithm),
@@ -238,13 +272,15 @@ def run_configuration(
         elapsed_seconds=result.elapsed_seconds,
         iterations=result.iterations,
         trash=result.trash_size(),
-        transferred_transactions=network.get("transferred_transactions", 0.0),
-        messages=network.get("messages", 0.0),
+        transferred_transactions=network_stats.get("transferred_transactions", 0.0),
+        messages=network_stats.get("messages", 0.0),
         backend=backend,
         cache_stats=algo.engine.cache.stats(),
         store=str(store_status.get("store", "off")),
         store_fallback=int(result.metadata.get("store_fallback", 0)),
         model=model_status,
+        network=network,
+        predicted_vs_measured=predicted_vs_measured,
     )
 
 
@@ -315,6 +351,13 @@ class ExperimentSweep:
     #: persists its model under ``<root>/<dataset>-<algo>-n<nodes>-f<f>-s<seed>``
     #: for later serving (``repro serve`` / ``repro classify``).
     save_model_dir: Optional[str] = None
+    #: Transport of the collaborative rounds (``"sim"`` / ``"real"``; the
+    #: real transport is CXK-means only and fills each record's
+    #: ``predicted_vs_measured`` fields).
+    network: str = "sim"
+    #: Per-round deadline of the real transport in seconds (``None`` keeps
+    #: the :class:`~repro.core.config.ClusteringConfig` default).
+    network_timeout: Optional[float] = None
 
     def effective_f_values(self) -> List[float]:
         if self.f_values is not None:
@@ -359,6 +402,8 @@ class ExperimentSweep:
                                 refine_workers=self.refine_workers,
                                 corpus_cache_dir=self.corpus_cache_dir,
                                 save_model_dir=save_model_dir,
+                                network=self.network,
+                                network_timeout=self.network_timeout,
                             )
                         )
                 aggregates.append(aggregate_records(records))

@@ -63,6 +63,10 @@ class AccuracyTableConfig:
     refine_workers: Optional[int] = None
     #: Directory of the persistent compiled-corpus store (``None`` = off).
     corpus_cache_dir: Optional[str] = None
+    #: Transport of the collaborative rounds (``"sim"`` / ``"real"``).
+    network: str = "sim"
+    #: Per-round deadline of the real transport (``None`` = config default).
+    network_timeout: Optional[float] = None
 
 
 @dataclass
@@ -125,6 +129,8 @@ def run_accuracy_table(config: Optional[AccuracyTableConfig] = None) -> Accuracy
             batch_block_items=config.batch_block_items,
             refine_workers=config.refine_workers,
             corpus_cache_dir=config.corpus_cache_dir,
+            network=config.network,
+            network_timeout=config.network_timeout,
         )
         aggregates = sweep.run()
         tables[goal] = pivot(aggregates, value="f_measure")

@@ -112,10 +112,21 @@ class SimulatedNetwork:
         """Deliver *message* to its recipient and record the traffic.
 
         Messages a peer sends to itself are neither delivered nor accounted
-        (a node does not use the network to talk to itself).
+        (a node does not use the network to talk to itself).  Sending with
+        no open round is a programming error: the traffic would land in an
+        auto-created round-0 record that a later :meth:`begin_round`
+        shadows with a duplicate ``RoundStats(0)``, so the phantom round's
+        bytes would never be charged by :meth:`end_round` -- the message
+        counts fed to the cost model would silently disagree with the
+        recorded statistics.
         """
         if message.sender == message.recipient:
             return
+        if not self._round_open:
+            raise RuntimeError(
+                "send() called with no open round: every message must be "
+                "accounted to a round (wrap the exchange in network.round())"
+            )
         message.round_index = max(self._round_index, 0)
         self.stats.record_message(message)
         self._by_id[message.recipient].deliver(message)
@@ -139,6 +150,40 @@ class SimulatedNetwork:
             )
             count += 1
         return count
+
+    # ------------------------------------------------------------------ #
+    # Local phases
+    # ------------------------------------------------------------------ #
+    def run_local_phases(self, inputs, runner, executor=None):
+        """Execute this round's per-peer local phases and record their time.
+
+        The transport-neutral entry point shared with
+        :class:`~repro.network.realnet.RealNetwork`: the algorithm drivers
+        hand over the phase inputs and get one output per peer back, with
+        ``compute_seconds`` recorded into the round statistics.  On the
+        simulated transport the phases run in this process -- serially on
+        the shared per-peer engines when the executor is serial (or
+        absent), else dispatched through ``executor.map``.
+        """
+        from repro.network.mpengine import SerialExecutor
+
+        if executor is None or isinstance(executor, SerialExecutor):
+            outputs = [
+                runner(phase_input, engine=self.peer(phase_input.peer_id).engine)
+                for phase_input in inputs
+            ]
+        else:
+            outputs = executor.map(runner, inputs)
+        for output in outputs:
+            self.stats.record_compute(output.peer_id, output.compute_seconds)
+        return outputs
+
+    def close(self) -> None:
+        """Release transport resources (a no-op for the simulation).
+
+        Exists so algorithm drivers can ``finally: network.close()`` without
+        branching on the transport type.
+        """
 
     # ------------------------------------------------------------------ #
     # Reporting

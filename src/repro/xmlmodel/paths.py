@@ -48,6 +48,18 @@ class XMLPath:
     def __hash__(self) -> int:  # cached; steps are immutable
         return self._hash
 
+    def __reduce__(self):
+        """Rebuild through the constructor when unpickled.
+
+        The cached ``_hash`` bakes in the per-process string-hash salt
+        (``PYTHONHASHSEED``); restoring it verbatim in another process
+        would make equal paths hash differently from locally constructed
+        ones, silently breaking dict and set lookups that mix pickled and
+        fresh paths (e.g. a worker probing its unpickled corpus registry
+        with representatives decoded from the wire).
+        """
+        return (XMLPath, (self.steps,))
+
     # -- constructors ----------------------------------------------------- #
     @staticmethod
     def of(*steps: str) -> "XMLPath":

@@ -31,7 +31,9 @@ import pytest
 import repro.core.config
 import repro.core.model_store
 import repro.core.representatives
+import repro.network.codec
 import repro.network.mpengine
+import repro.network.realnet
 import repro.serving
 import repro.similarity.backend
 import repro.similarity.corpus_store
@@ -42,6 +44,8 @@ DOCUMENTED_MODULES = [
     repro.similarity.torch_backend,
     repro.core.representatives,
     repro.network.mpengine,
+    repro.network.codec,
+    repro.network.realnet,
     repro.core.config,
     repro.similarity.corpus_store,
     repro.core.model_store,

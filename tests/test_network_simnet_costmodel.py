@@ -171,3 +171,79 @@ class TestExecutors:
         executor = MultiprocessingExecutor(processes=1)
         assert executor.map(_square, [3]) == [9]
         executor.close()
+
+
+class RecordingCostModel(CostModel):
+    """Cost model that records every ``communication_seconds`` input.
+
+    Lets the round-accounting tests assert that the traffic recorded into
+    the per-round statistics is exactly what the cost model is asked to
+    price -- a phantom round or a message accounted outside its round would
+    break the correspondence.
+    """
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.calls = []
+
+    def communication_seconds(self, transferred_transactions, transferred_units):
+        self.calls.append((transferred_transactions, transferred_units))
+        return super().communication_seconds(
+            transferred_transactions, transferred_units
+        )
+
+
+class TestRoundAccounting:
+    """Per-round message accounting must match the cost-model inputs."""
+
+    def test_send_outside_round_raises(self):
+        network = two_peer_network()
+        with pytest.raises(RuntimeError, match="no open round"):
+            network.send(Message(0, 1, MessageKind.FLAG, {"state": "done"}))
+
+    def test_broadcast_outside_round_raises(self):
+        network = two_peer_network()
+        with pytest.raises(RuntimeError, match="no open round"):
+            network.broadcast(0, MessageKind.FLAG, {"state": "continue"})
+
+    def test_round_stats_match_what_the_cost_model_prices(self):
+        cost_model = RecordingCostModel()
+        network = two_peer_network(cost_model)
+        payload = representative_payload([(0, rep_transaction(), 1)])
+        with network.round():
+            network.send(Message(0, 1, MessageKind.LOCAL_REPRESENTATIVES, payload))
+        with network.round():
+            network.broadcast(0, MessageKind.FLAG, {"state": "continue"})
+        expected = [
+            (stats.transferred_transactions, stats.transferred_units)
+            for stats in network.stats.rounds
+        ]
+        assert cost_model.calls == expected
+        assert len(network.stats.rounds) == 2  # no phantom rounds
+
+    def test_cxk_fit_prices_exactly_its_recorded_rounds(self, mini_dataset):
+        from repro.core.config import ClusteringConfig
+        from repro.core.cxkmeans import CXKMeans
+        from repro.core.partition import partition_equally
+        from repro.similarity.item import SimilarityConfig
+
+        cost_model = RecordingCostModel()
+        config = ClusteringConfig(
+            k=3,
+            similarity=SimilarityConfig(f=0.5, gamma=0.4),
+            seed=0,
+            max_iterations=4,
+        )
+        parts = partition_equally(mini_dataset.transactions, 3, seed=0)
+        result = CXKMeans(config, cost_model=cost_model).fit(parts)
+
+        rounds = int(result.network["rounds"])
+        # the SETUP exchange is its own round, then one round per iteration
+        assert rounds == result.iterations + 1
+        # one pricing call per closed round plus the final summary total
+        per_round, total = cost_model.calls[:-1], cost_model.calls[-1]
+        assert len(per_round) == rounds
+        assert total[0] == sum(t for t, _ in per_round)
+        assert total[1] == pytest.approx(sum(u for _, u in per_round))
+        assert total[0] == result.network["transferred_transactions"]
+        assert total[1] == pytest.approx(result.network["transferred_units"])

@@ -152,3 +152,48 @@ class TestPathCollections:
     def test_depth_of_paths(self, paper_tree):
         assert depth_of_paths(list(complete_paths(paper_tree))) == 4
         assert depth_of_paths([]) == 0
+
+
+class TestPathPickling:
+    """The cached hash must never survive pickling (PYTHONHASHSEED salt).
+
+    Python string hashing is salted per process: a pickled path restored
+    with its sender's cached ``_hash`` would hash differently from an equal
+    path constructed locally, silently breaking dict and set lookups that
+    mix the two (exactly what a real-transport worker does when it probes
+    its unpickled partition with representatives decoded from the wire).
+    """
+
+    def test_unpickled_path_rehashes_locally(self):
+        import pickle
+
+        path = XMLPath.parse("dblp.inproceedings.title.S")
+        clone = pickle.loads(pickle.dumps(path))
+        assert clone == path
+        assert hash(clone) == hash(path)
+        assert clone in {path}
+        assert {path: 1}[clone] == 1
+
+    def test_reduce_rebuilds_through_the_constructor(self):
+        path = XMLPath.parse("dblp.inproceedings.@key")
+        factory, args = path.__reduce__()
+        assert factory is XMLPath
+        rebuilt = factory(*args)
+        # a rebuilt path re-runs __post_init__, re-deriving the cached hash
+        # from the current process's string-hash salt
+        assert rebuilt == path
+        assert hash(rebuilt) == hash(path.steps)
+
+    def test_cross_salt_simulation(self):
+        # simulate a foreign process's salt by corrupting the cached hash
+        # the way the old default pickling would have restored it
+        path = XMLPath.parse("dblp.article.title")
+        foreign = XMLPath(path.steps)
+        object.__setattr__(foreign, "_hash", hash(path.steps) + 1)
+        assert foreign == path  # equality ignores the cache...
+        assert hash(foreign) != hash(path)  # ...but lookups would miss
+        # __reduce__ heals the corruption across a pickle round trip
+        import pickle
+
+        healed = pickle.loads(pickle.dumps(foreign))
+        assert hash(healed) == hash(path)
