@@ -6,7 +6,11 @@ The ``cxk`` console script exposes the main workflows:
   CXK-means / PK-means / XK-means and print the resulting clusters
   (``--save-model DIR`` persists the fitted model for serving);
 * ``cxk classify`` -- classify XML documents against a saved model;
-* ``cxk serve`` -- serve a saved model (stdin line protocol or HTTP);
+* ``cxk serve`` -- serve a saved model (stdin line protocol or HTTP), or
+  serve every active model of a registry through the async multi-model
+  router (``--registry``, with ``--workers N`` for a process pool);
+* ``cxk models`` -- catalog fitted models in the durable registry
+  (``list`` / ``show`` / ``publish`` / ``retire``);
 * ``cxk figure7`` / ``cxk table1`` / ``cxk table2`` / ``cxk figure8`` --
   regenerate the paper's tables and figures as text reports;
 * ``cxk datasets`` -- print the profile of the synthetic corpora.
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import glob
+import json
 import os
 import sys
 from typing import List, Optional
@@ -242,6 +247,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     # resolve (and validate) the backend before loading any corpus, so an
     # unavailable backend fails immediately with its actionable message
     backend = _resolve_backend(args)
+    if args.registry and not args.save_model:
+        raise SystemExit("--registry requires --save-model DIR")
     network = getattr(args, "network", "sim")
     network_timeout = _resolve_network_timeout(args)
     if network == "real" and args.algorithm != "cxk":
@@ -318,15 +325,32 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.save_model:
         from repro.core.model_store import ModelStoreError, save_model
 
+        registry = None
+        if args.registry:
+            from repro.store import open_registry
+
+            registry = open_registry(args.registry)
         try:
-            save_model(
+            manifest = save_model(
                 args.save_model,
                 result,
                 config,
                 dataset=dataset,
                 engine=algorithm.engine,
+                registry=registry,
+                model_name=args.model_name,
             )
             print(f"model     : saved -> {args.save_model}")
+            published = manifest.get("registry")
+            if published:
+                print(
+                    "registry  : published {name} v{version} "
+                    "({fingerprint})".format(
+                        name=published["name"],
+                        version=published["version"],
+                        fingerprint=published["fingerprint"][:12],
+                    )
+                )
         except ModelStoreError as error:
             # persistence is best effort: the clustering itself succeeded
             print(f"model     : error ({error})")
@@ -379,10 +403,16 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serving import serve_http, serve_stdin
-
+    if args.workers is not None and args.workers < 0:
+        raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+    if args.registry or args.workers is not None:
+        return _cmd_serve_async(args)
+    if not args.model:
+        raise SystemExit("serve needs --model DIR (or --registry PATH)")
     model = _load_cluster_model(args)
     try:
+        from repro.serving import DEFAULT_REQUEST_TIMEOUT, serve_http, serve_stdin
+
         _print_model_header(model)
         if args.port is None:
             print("serving   : stdin (one XML file path per line)")
@@ -392,11 +422,128 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             serve_http(
                 model, host=args.host, port=args.port,
                 max_requests=args.max_requests,
+                request_timeout=(
+                    args.timeout if args.timeout is not None
+                    else DEFAULT_REQUEST_TIMEOUT
+                ),
             )
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
         model.close()
+    return 0
+
+
+def _cmd_serve_async(args: argparse.Namespace) -> int:
+    """The ``serve`` async path: registry routing and/or a worker pool."""
+    from repro.serving import DEFAULT_REQUEST_TIMEOUT, serve_async
+    from repro.store.registry import RegistryError
+
+    if args.port is None:
+        raise SystemExit(
+            "the async server is HTTP-only: --registry/--workers need --port"
+        )
+    if args.registry:
+        if args.model:
+            raise SystemExit(
+                "--registry routes published models; drop --model or use "
+                "--models NAME to restrict the routes"
+            )
+        registry_path, model_dirs = args.registry, None
+    else:
+        if not args.model:
+            raise SystemExit("--workers without --registry needs --model DIR")
+        if args.models:
+            raise SystemExit("--models filters registry routes; use --registry")
+        registry_path = None
+        model_dirs = {os.path.basename(os.path.normpath(args.model)): args.model}
+    routes = args.models or (["<active models>"] if registry_path else list(model_dirs))
+    print(f"serving   : http://{args.host}:{args.port} (async router)")
+    print(f"routes    : {', '.join(routes)}  (POST /models/<name>/classify)")
+    print(f"workers   : {args.workers or 0} (0 = in-process classify)")
+    try:
+        serve_async(
+            registry_path=registry_path,
+            model_names=args.models,
+            model_dirs=model_dirs,
+            host=args.host,
+            port=args.port,
+            workers=args.workers or 0,
+            backend=args.backend,
+            poll_interval=args.poll_interval,
+            max_requests=args.max_requests,
+            request_timeout=(
+                args.timeout if args.timeout is not None else DEFAULT_REQUEST_TIMEOUT
+            ),
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    except (RegistryError, BackendUnavailableError, ValueError) as error:
+        raise SystemExit(f"error: {error}") from error
+    return 0
+
+
+def _open_cli_registry(args: argparse.Namespace):
+    """Open the registry named by ``--registry`` for a ``models`` command."""
+    from repro.store import open_registry
+    from repro.store.registry import RegistryError
+
+    try:
+        return open_registry(args.registry)
+    except RegistryError as error:
+        raise SystemExit(f"error: {error}") from error
+
+
+def _print_model_records(records) -> None:
+    """Render registry records as the shared ``models`` table."""
+    rows = [
+        [
+            record.name,
+            record.version,
+            record.status,
+            record.fingerprint[:12],
+            record.created_at,
+            record.directory,
+        ]
+        for record in records
+    ]
+    print(
+        format_table(
+            ["name", "version", "status", "fingerprint", "created", "directory"],
+            rows,
+        )
+    )
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    """Handle ``cxk models list|show|publish|retire``."""
+    from repro.store.registry import RegistryError
+
+    registry = _open_cli_registry(args)
+    try:
+        if args.models_command == "list":
+            records = registry.list_models(
+                args.name, include_retired=args.all
+            )
+            if not records:
+                scope = f"name {args.name!r}" if args.name else "registry"
+                print(f"no models cataloged for {scope} ({args.registry})")
+                return 0
+            _print_model_records(records)
+        elif args.models_command == "show":
+            record = registry.show(args.name, args.version)
+            print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        elif args.models_command == "publish":
+            record = registry.publish(args.name, args.directory)
+            print(
+                f"published {record.name} v{record.version} "
+                f"({record.fingerprint[:12]}) -> {record.directory}"
+            )
+        else:  # retire
+            record = registry.retire(args.name, args.version)
+            print(f"retired {record.name} v{record.version}")
+    except RegistryError as error:
+        raise SystemExit(f"error: {error}") from error
     return 0
 
 
@@ -489,6 +636,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the fitted model (representatives, config, registries, "
         "corpus-store linkage) to DIR for later `cxk classify` / `cxk serve`",
     )
+    cluster_parser.add_argument(
+        "--registry",
+        default=None,
+        metavar="PATH",
+        help="also publish the saved model into this sqlite registry "
+        "(requires --save-model; see `cxk models`)",
+    )
+    cluster_parser.add_argument(
+        "--model-name",
+        default=None,
+        metavar="NAME",
+        help="registry name to publish under (default: the --save-model "
+        "directory's basename)",
+    )
     _add_backend_argument(cluster_parser)
     _add_network_arguments(cluster_parser)
     cluster_parser.set_defaults(handler=_cmd_cluster)
@@ -509,10 +670,49 @@ def build_parser() -> argparse.ArgumentParser:
     classify_parser.set_defaults(handler=_cmd_classify)
 
     serve_parser = subparsers.add_parser(
-        "serve", help="serve a saved model (stdin line protocol or HTTP)"
+        "serve",
+        help="serve a saved model (stdin/HTTP) or a registry's models (async)",
     )
     serve_parser.add_argument(
-        "--model", required=True, metavar="DIR", help="model directory (from --save-model)"
+        "--model", default=None, metavar="DIR", help="model directory (from --save-model)"
+    )
+    serve_parser.add_argument(
+        "--registry",
+        default=None,
+        metavar="PATH",
+        help="route every active model of this registry through the async "
+        "server (POST /models/<name>/classify; restrict with --models)",
+    )
+    serve_parser.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="restrict --registry routing to these published names",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="classify on a pool of N worker processes (async server; "
+        "0 = classify in-process; default: the single-model wsgiref path)",
+    )
+    serve_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="async server: re-read the registry this often and hot-reload "
+        "fingerprint-changed models (default: reload only on POST /reload)",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-connection request timeout; a stalled client is dropped "
+        "after this bound instead of blocking the server (default: 30)",
     )
     serve_parser.add_argument(
         "--backend",
@@ -536,6 +736,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after N HTTP requests (smoke runs; default: serve forever)",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    models_parser = subparsers.add_parser(
+        "models", help="catalog fitted models in the durable registry"
+    )
+    models_parser.add_argument(
+        "--registry",
+        required=True,
+        metavar="PATH",
+        help="path of the sqlite registry database (created on first use)",
+    )
+    models_subparsers = models_parser.add_subparsers(
+        dest="models_command", required=True
+    )
+    models_list = models_subparsers.add_parser(
+        "list", help="list cataloged models (active versions by default)"
+    )
+    models_list.add_argument(
+        "name", nargs="?", default=None, help="restrict to one model name"
+    )
+    models_list.add_argument(
+        "--all", action="store_true", help="include retired versions"
+    )
+    models_show = models_subparsers.add_parser(
+        "show", help="print one version's full record as JSON"
+    )
+    models_show.add_argument("name", help="model name")
+    models_show.add_argument(
+        "--version", type=int, default=None, help="version (default: active)"
+    )
+    models_publish = models_subparsers.add_parser(
+        "publish", help="catalog a saved model directory under a name"
+    )
+    models_publish.add_argument("name", help="model name to publish under")
+    models_publish.add_argument(
+        "directory", metavar="DIR", help="model directory (from --save-model)"
+    )
+    models_retire = models_subparsers.add_parser(
+        "retire", help="retire a version (status flip; never deletes)"
+    )
+    models_retire.add_argument("name", help="model name")
+    models_retire.add_argument(
+        "--version", type=int, default=None, help="version (default: active)"
+    )
+    models_parser.set_defaults(handler=_cmd_models)
 
     figure7_parser = subparsers.add_parser("figure7", help="reproduce Figure 7")
     _add_common_experiment_arguments(figure7_parser)

@@ -157,6 +157,8 @@ def save_model(
     dataset=None,
     engine=None,
     preprocessing: Optional[PreprocessingConfig] = None,
+    registry=None,
+    model_name: Optional[str] = None,
 ) -> Dict[str, object]:
     """Persist a fitted model under *directory*; return the manifest.
 
@@ -183,6 +185,14 @@ def save_model(
     preprocessing:
         The :class:`PreprocessingConfig` the corpus was built with
         (defaults to the standard configuration).
+    registry:
+        Optional :class:`~repro.store.registry.ModelRegistry`.  After a
+        successful save the directory is published to it as the next
+        version of *model_name*, making the saved model visible to
+        ``cxk models`` and routable by the async server in one step.
+    model_name:
+        Registry name to publish under (defaults to the directory's
+        base name).  Ignored without *registry*.
 
     Raises
     ------
@@ -285,6 +295,24 @@ def save_model(
         raise ModelStoreError(
             f"cannot save model to {directory}: {error}"
         ) from error
+    if registry is not None:
+        # the registry hook rides on a *complete* save: any publish
+        # failure surfaces as the same error family callers already
+        # degrade on, and never leaves a half-written directory behind
+        from repro.store.registry import RegistryError
+
+        try:
+            record = registry.publish(model_name or directory.name, directory)
+        except RegistryError as error:
+            raise ModelStoreError(
+                f"model saved to {directory} but registry publish failed: "
+                f"{error}"
+            ) from error
+        manifest["registry"] = {
+            "name": record.name,
+            "version": record.version,
+            "fingerprint": record.fingerprint,
+        }
     return manifest
 
 

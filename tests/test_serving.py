@@ -206,6 +206,43 @@ class TestHttpServer:
         server.join(timeout=10)
         assert not server.is_alive()
 
+    def test_stalled_client_cannot_block_the_server(self, model_dir):
+        """Regression: a client that connects and sends nothing used to
+        block the single-threaded wsgiref loop forever; the per-connection
+        timeout now drops it and the next client is served."""
+        import socket
+
+        port = free_port()
+        model = load_model(model_dir)
+        server = threading.Thread(
+            target=serve_http,
+            kwargs=dict(
+                model=model, host="127.0.0.1", port=port, max_requests=2,
+                request_timeout=0.5,
+            ),
+            daemon=True,
+        )
+        server.start()
+        # connect but never send a request line: without the timeout this
+        # holds the (one-request-at-a-time) server hostage
+        import time
+
+        for attempt in range(100):
+            try:
+                stalled = socket.create_connection(("127.0.0.1", port), timeout=10)
+                break
+            except OSError:
+                if attempt == 99:
+                    raise
+                time.sleep(0.05)
+        try:
+            health = fetch_with_retry(f"http://127.0.0.1:{port}/healthz")
+            assert health["status"] == "ok"
+        finally:
+            stalled.close()
+        server.join(timeout=10)
+        assert not server.is_alive()
+
 
 class TestCli:
     def test_cluster_save_model_then_classify(
