@@ -5,7 +5,11 @@ The ``cxk`` console script exposes the main workflows:
 * ``cxk cluster`` -- cluster an XML directory (or a synthetic corpus) with
   CXK-means / PK-means / XK-means and print the resulting clusters
   (``--save-model DIR`` persists the fitted model for serving);
-* ``cxk classify`` -- classify XML documents against a saved model;
+* ``cxk classify`` -- classify XML documents against a saved model
+  (``--stdin`` streams file paths line by line with bounded memory);
+* ``cxk stream`` -- ingest XML documents incrementally into a saved model
+  (chunked streaming clustering, ``--out-of-core`` block store, periodic
+  checkpoints);
 * ``cxk serve`` -- serve a saved model (stdin line protocol or HTTP), or
   serve every active model of a registry through the async multi-model
   router (``--registry``, with ``--workers N`` for a process pool);
@@ -384,21 +388,170 @@ def _print_model_header(model) -> None:
     )
 
 
+def _iter_classify_paths(args: argparse.Namespace):
+    """Yield the file paths to classify, one at a time.
+
+    With ``--stdin``, paths are read from standard input *line by line* --
+    each path is yielded (and classified) as soon as its line arrives, so
+    an arbitrarily long pipe is processed with bounded memory instead of
+    being slurped up front.  Blank lines are skipped.
+    """
+    for path in args.files:
+        yield path
+    if getattr(args, "stdin", False):
+        for line in sys.stdin:
+            path = line.strip()
+            if path:
+                yield path
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
+    if not args.files and not args.stdin:
+        raise SystemExit("classify needs FILE arguments or --stdin")
     model = _load_cluster_model(args)
     try:
         _print_model_header(model)
-        for path in args.files:
+        for path in _iter_classify_paths(args):
             try:
                 result = model.classify_file(path)
             except OSError as error:
                 raise SystemExit(f"error: {error}") from error
             print(
                 f"{path}: cluster={result.cluster_id} "
-                f"score={result.score:.4f} transactions={result.transactions}"
+                f"score={result.score:.4f} transactions={result.transactions}",
+                flush=True,
             )
     finally:
         model.close()
+    return 0
+
+
+def _iter_stream_chunks(args: argparse.Namespace, chunk_size: int):
+    """Yield ``(name, transactions)`` ingestion chunks for ``cxk stream``.
+
+    Corpus mode (``--corpus``) replays a synthetic corpus in order with its
+    frozen whole-corpus term statistics, so the streamed clustering is
+    comparable to (and at one big chunk bit-exact with) the batch fit.
+    File/stdin mode parses XML documents chunk by chunk and builds each
+    chunk's transactions with :func:`build_dataset` -- content weighting is
+    then per-chunk rather than corpus-wide (a documented approximation of
+    the collection statistics a batch build would use); paths stream
+    through bounded memory, one chunk of parsed trees at a time.
+    """
+    if args.corpus:
+        dataset = get_dataset(args.corpus, scale=args.scale, seed=args.seed)
+        transactions = dataset.transactions
+        for start in range(0, len(transactions), chunk_size):
+            yield args.corpus, transactions[start : start + chunk_size]
+        return
+
+    def paths():
+        for path in args.files:
+            yield path
+        if args.stdin:
+            for line in sys.stdin:
+                path = line.strip()
+                if path:
+                    yield path
+
+    pending: List[str] = []
+    index = 0
+    for path in paths():
+        pending.append(path)
+        if len(pending) >= chunk_size:
+            trees = [parse_xml_file(file) for file in pending]
+            yield f"chunk-{index}", build_dataset(f"chunk-{index}", trees).transactions
+            pending, index = [], index + 1
+    if pending:
+        trees = [parse_xml_file(file) for file in pending]
+        yield f"chunk-{index}", build_dataset(f"chunk-{index}", trees).transactions
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    backend = _resolve_backend(args)
+    if not args.corpus and not args.files and not args.stdin:
+        raise SystemExit("stream needs --corpus NAME, FILE arguments or --stdin")
+    if args.corpus and (args.files or args.stdin):
+        raise SystemExit("--corpus replaces FILE/--stdin input; use one or the other")
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        raise SystemExit(
+            f"--checkpoint-every must be positive, got {args.checkpoint_every}"
+        )
+    from repro.core.model_store import ModelStoreError, save_model
+    from repro.core.streaming import StreamingClusterer
+
+    config = ClusteringConfig(
+        k=args.k,
+        similarity=SimilarityConfig(f=args.f, gamma=args.gamma),
+        seed=args.seed,
+        max_iterations=args.max_iterations,
+        backend=backend,
+        batch_block_items=_resolve_batch_block_items(args),
+        refine_workers=_resolve_refine_workers(args),
+        streaming=True,
+        chunk_size=args.chunk_size,
+        retain_threshold=args.retain_threshold,
+        drift_threshold=args.drift_threshold,
+    )
+    store = None
+    if args.out_of_core:
+        from repro.similarity.corpus_store import BlockCorpusStore
+
+        store = BlockCorpusStore.create(
+            os.path.join(args.model, "blocks"), config.similarity
+        )
+    clusterer = StreamingClusterer(config, store=store)
+    print(f"algorithm : Streaming-XK-means (k={args.k}, chunk={args.chunk_size})")
+    print(f"backend   : {backend}")
+    print(
+        "blocks    : {mode}".format(
+            mode=f"out-of-core -> {store.directory}" if store else "in-memory"
+        )
+    )
+
+    def save_checkpoint(result, label: str) -> None:
+        if store is not None:
+            # record the chain linkage (fingerprint + directory) in the
+            # manifest so `classify`/`serve` can warm-attach the blocks
+            clusterer.engine.backend.attach_store(store)
+        try:
+            save_model(args.model, result, config, engine=clusterer.engine)
+            stats = clusterer.stats
+            print(
+                f"checkpoint: saved -> {args.model} "
+                f"({label}, chunks={stats.chunks_ingested}, "
+                f"transactions={stats.transactions_ingested}, "
+                f"retained={stats.retained}, "
+                f"re_refinements={stats.re_refinements})",
+                flush=True,
+            )
+        except ModelStoreError as error:
+            print(f"checkpoint: error ({error})", flush=True)
+
+    chunks_seen = 0
+    for name, chunk in _iter_stream_chunks(args, args.chunk_size):
+        clusterer.ingest(chunk)
+        chunks_seen += 1
+        if (
+            args.checkpoint_every
+            and clusterer.bootstrapped
+            and chunks_seen % args.checkpoint_every == 0
+        ):
+            save_checkpoint(clusterer.checkpoint_result(), name)
+    try:
+        result = clusterer.finalize()
+    except RuntimeError as error:
+        raise SystemExit(f"error: {error}") from error
+    save_checkpoint(result, "final")
+    stats = clusterer.stats
+    print(f"chunks    : {stats.chunks_ingested} post-bootstrap")
+    print(f"ingested  : {stats.transactions_ingested} transactions")
+    print(
+        f"refine    : {stats.re_refinements} re-refinements "
+        f"(churn {stats.churn:.2f}, retained peak {stats.retained_peak})"
+    )
+    print(f"clusters  : {result.k}  (trash: {result.trash_size()} transactions)")
+    print(f"elapsed   : {result.elapsed_seconds:.2f}s")
     return 0
 
 
@@ -666,8 +819,87 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME[:OPTIONS]",
         help="override the backend spec recorded in the model manifest",
     )
-    classify_parser.add_argument("files", nargs="+", metavar="FILE", help="XML files")
+    classify_parser.add_argument(
+        "--stdin",
+        action="store_true",
+        help="additionally read file paths from standard input, one per "
+        "line, classifying each as it arrives (bounded memory on long "
+        "pipes)",
+    )
+    classify_parser.add_argument("files", nargs="*", metavar="FILE", help="XML files")
     classify_parser.set_defaults(handler=_cmd_classify)
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="ingest XML documents incrementally into a saved model "
+        "(streaming out-of-core clustering)",
+    )
+    stream_parser.add_argument(
+        "--model",
+        required=True,
+        metavar="DIR",
+        help="model directory to write (checkpoints and the final model "
+        "are persisted here for `cxk classify` / `cxk serve`)",
+    )
+    stream_parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="NAME",
+        help="replay a synthetic corpus in chunks instead of reading files",
+    )
+    stream_parser.add_argument("--scale", type=float, default=0.5)
+    stream_parser.add_argument("--seed", type=int, default=0)
+    stream_parser.add_argument(
+        "--stdin",
+        action="store_true",
+        help="additionally read XML file paths from standard input, one "
+        "per line, ingesting chunk by chunk with bounded memory",
+    )
+    stream_parser.add_argument("--k", type=int, default=4, help="number of clusters")
+    stream_parser.add_argument("--f", type=float, default=0.5)
+    stream_parser.add_argument("--gamma", type=float, default=0.85)
+    stream_parser.add_argument("--max-iterations", type=int, default=6)
+    stream_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=32,
+        metavar="N",
+        help="transactions per ingested chunk (default: %(default)s)",
+    )
+    stream_parser.add_argument(
+        "--retain-threshold",
+        type=float,
+        default=0.25,
+        metavar="S",
+        help="similarity below which a transaction is parked in the "
+        "retained set instead of committed (default: %(default)s)",
+    )
+    stream_parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.5,
+        metavar="D",
+        help="retained-set fill fraction that triggers a bounded "
+        "re-refinement (default: %(default)s)",
+    )
+    stream_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="persist a light checkpoint of the model every N chunks "
+        "(default: only the final model is saved)",
+    )
+    stream_parser.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help="append each chunk to a block-structured corpus store under "
+        "<model>/blocks; older blocks stay mmap-resident on disk and only "
+        "the active tail is held in memory",
+    )
+    stream_parser.add_argument("files", nargs="*", metavar="FILE", help="XML files")
+    _add_backend_argument(stream_parser)
+    stream_parser.set_defaults(handler=_cmd_stream)
 
     serve_parser = subparsers.add_parser(
         "serve",

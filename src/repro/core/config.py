@@ -102,6 +102,28 @@ class ClusteringConfig:
         :class:`~repro.network.realnet.RealNetworkError` within this
         bound instead of hanging the driver.  Ignored by the simulated
         transport.
+    streaming:
+        Enables the incremental fit mode
+        (:class:`~repro.core.streaming.StreamingClusterer`): the corpus is
+        ingested in chunks against the current representatives instead of
+        one batch fit, with poorly-matched transactions parked in a
+        bounded retained set and re-refinement triggered only when drift
+        crosses :attr:`drift_threshold`.  Batch fits ignore the flag.
+    chunk_size:
+        Transactions per ingested chunk in streaming mode.  ``None`` means
+        unchunked (the whole input is one chunk -- the configuration under
+        which streaming is bit-exact with the batch fit); the retained-set
+        capacity is derived from this (see
+        :attr:`effective_retain_capacity`).
+    retain_threshold:
+        Similarity below which an incoming transaction is *retained*
+        (parked for the next re-refinement) instead of being committed to
+        its nearest cluster.  ``0.0`` retains only zero-similarity (trash
+        candidate) transactions, mirroring the batch trash rule.
+    drift_threshold:
+        Fraction of the retained-set capacity at which the streaming
+        clusterer triggers a bounded re-refinement (``1.0`` = only when
+        the retained set is full; lower values re-refine earlier).
     """
 
     k: int
@@ -115,6 +137,10 @@ class ClusteringConfig:
     corpus_cache_dir: Optional[str] = None
     network: str = "sim"
     network_timeout: float = 120.0
+    streaming: bool = False
+    chunk_size: Optional[int] = None
+    retain_threshold: float = 0.25
+    drift_threshold: float = 0.5
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -139,6 +165,18 @@ class ClusteringConfig:
         if self.network_timeout <= 0:
             raise ValueError(
                 f"network_timeout must be positive, got {self.network_timeout}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be positive, got {self.chunk_size}"
+            )
+        if not 0.0 <= self.retain_threshold <= 1.0:
+            raise ValueError(
+                f"retain_threshold must be in [0, 1], got {self.retain_threshold}"
+            )
+        if not 0.0 < self.drift_threshold <= 1.0:
+            raise ValueError(
+                f"drift_threshold must be in (0, 1], got {self.drift_threshold}"
             )
         # fail at config-resolution time, not deep inside a fit: unknown
         # backends raise ValueError, missing optional dependencies raise
@@ -255,3 +293,37 @@ class ClusteringConfig:
         if network_timeout is None:
             return replace(self, network=network)
         return replace(self, network=network, network_timeout=network_timeout)
+
+    @property
+    def effective_retain_capacity(self) -> int:
+        """Upper bound on the streaming retained set, derived from the chunk.
+
+        Two chunks' worth of transactions (minimum 8): large enough that a
+        transient burst of novel documents does not force a re-refinement
+        per chunk, small enough that memory stays bounded and drift is
+        detected within a couple of chunks.  Unchunked streams
+        (``chunk_size=None``) get the minimum -- every transaction is seen
+        in the single bootstrap chunk, so the retained set only ever holds
+        post-bootstrap stragglers.
+        """
+        if self.chunk_size is None:
+            return 8
+        return max(8, 2 * self.chunk_size)
+
+    def with_streaming(
+        self,
+        streaming: bool = True,
+        *,
+        chunk_size: Optional[int] = None,
+        retain_threshold: Optional[float] = None,
+        drift_threshold: Optional[float] = None,
+    ) -> "ClusteringConfig":
+        """Return a copy with streaming-ingestion settings applied."""
+        updates: dict = {"streaming": streaming}
+        if chunk_size is not None:
+            updates["chunk_size"] = chunk_size
+        if retain_threshold is not None:
+            updates["retain_threshold"] = retain_threshold
+        if drift_threshold is not None:
+            updates["drift_threshold"] = drift_threshold
+        return replace(self, **updates)

@@ -249,6 +249,10 @@ def save_model(
                 if config.corpus_cache_dir is not None
                 else None
             ),
+            "streaming": config.streaming,
+            "chunk_size": config.chunk_size,
+            "retain_threshold": config.retain_threshold,
+            "drift_threshold": config.drift_threshold,
         },
         "preprocessing": {
             "min_token_length": preprocessing.min_token_length,
@@ -387,6 +391,13 @@ def load_model(directory, *, backend: Optional[str] = None) -> "ClusterModel":
             else None
         ),
         corpus_cache_dir=raw.get("corpus_cache_dir"),
+        # pre-streaming manifests simply fall back to the batch defaults
+        streaming=bool(raw.get("streaming", False)),
+        chunk_size=(
+            int(raw["chunk_size"]) if raw.get("chunk_size") is not None else None
+        ),
+        retain_threshold=float(raw.get("retain_threshold", 0.25)),
+        drift_threshold=float(raw.get("drift_threshold", 0.5)),
     )
 
     reps_doc = _read_json(directory, "representatives.json")

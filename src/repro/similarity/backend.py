@@ -333,6 +333,22 @@ class SimilarityBackend(Protocol):
         """
         ...
 
+    def extend_corpus(
+        self, transactions: Sequence[Transaction], *, pin: bool = False
+    ) -> int:
+        """Delta-compile *transactions* on top of the existing corpus.
+
+        Only transactions the backend has not already compiled (pinned or
+        covered by an attached store) are processed; registries and
+        feature blocks grow by the delta with first-occurrence numbering
+        preserved, so fingerprints stay stable across chunked ingestion.
+        ``pin=True`` additionally pins the new compilations (batch-corpus
+        semantics); the default leaves them evictable so a streaming
+        caller's memory stays bounded.  Returns the number of newly
+        compiled transactions (0 for backends with nothing to precompute).
+        """
+        ...
+
     def score_candidates(
         self, cluster: Sequence[Transaction], candidates: Sequence[Transaction]
     ) -> List[float]:
@@ -421,6 +437,12 @@ class PythonBackend:
 
     def compile_corpus(self, transactions: Sequence[Transaction]) -> int:
         """No-op: the reference loops have nothing to precompute (returns 0)."""
+        return 0
+
+    def extend_corpus(
+        self, transactions: Sequence[Transaction], *, pin: bool = False
+    ) -> int:
+        """No-op: there is no compiled state to extend (returns 0)."""
         return 0
 
     def score_candidates(
@@ -811,6 +833,49 @@ class NumpyBackend:
                 continue
             self._pinned[transaction] = self._compile_items(transaction)
             count += 1
+        self._ensure_tp_matrix()
+        self.corpus_compile_count += count
+        return count
+
+    def extend_corpus(
+        self, transactions: Sequence[Transaction], *, pin: bool = False
+    ) -> int:
+        """Delta-compile *transactions* on top of the existing corpus.
+
+        The incremental sibling of :meth:`compile_corpus`: transactions
+        already pinned or covered by an attached store are skipped, and
+        new ones extend the tag-path / content-class / uid registries in
+        first-occurrence order -- exactly the numbering a monolithic
+        compile of the concatenated corpus would assign, which is what
+        keeps store fingerprints stable under chunked ingestion.  The
+        structural matrix grows by the new paths' rows only
+        (:meth:`_ensure_tp_matrix` fills just the added entries from the
+        shared cache), so the cost of an append is proportional to the
+        delta, never the accumulated corpus.
+
+        With ``pin=False`` (the default) new compilations land in the
+        bounded transient cache instead of the pinned one, so a streaming
+        caller can ingest an unbounded corpus without the backend holding
+        every transaction alive.  Returns the newly compiled count and
+        accumulates it in :attr:`corpus_compile_count`.
+        """
+        count = 0
+        for transaction in transactions:
+            if transaction in self._pinned:
+                continue
+            attached = self._attached_compiled(transaction)
+            if attached is not None:
+                if pin:
+                    self._pinned[transaction] = attached
+                continue
+            compiled = self._compile_items(transaction)
+            count += 1
+            if pin:
+                self._pinned[transaction] = compiled
+            else:
+                if len(self._transient) >= self.TRANSIENT_CAP:
+                    self._transient.clear()
+                self._transient[id(transaction)] = (transaction, compiled)
         self._ensure_tp_matrix()
         self.corpus_compile_count += count
         return count
@@ -1531,6 +1596,13 @@ class ShardedBackend:
         processes compile their own copies lazily via the per-process
         engine cache)."""
         return self._inner.compile_corpus(transactions)
+
+    def extend_corpus(
+        self, transactions: Sequence[Transaction], *, pin: bool = False
+    ) -> int:
+        """Delta-compile into the *inner* backend (worker processes pick
+        up appended blocks through their per-process store handles)."""
+        return self._inner.extend_corpus(transactions, pin=pin)
 
     def score_candidates(
         self, cluster: Sequence[Transaction], candidates: Sequence[Transaction]

@@ -35,15 +35,43 @@ same corpus *exactly* (identifiers are assigned in the same
 first-occurrence order, matrix entries come from the same pure
 ``TagPathSimilarityCache.similarity`` floats), which is what makes the
 attach path bit-exact with the fresh-compile path.
+
+Block-structured chains (streaming ingestion)
+---------------------------------------------
+:class:`BlockCorpusStore` is the append-only sibling used by the streaming
+ingestion path (:mod:`repro.core.streaming`): instead of one monolithic
+compilation it grows a chain of numbered immutable blocks, each carrying
+its own ``.npy`` arrays, span table and pickled transactions::
+
+    <directory>/
+        chain.json             # chain manifest, rewritten LAST per append
+        block-00000/
+            block.json         # per-block manifest, written LAST in block
+            tp_rows.npy        # new matrix rows: (new_paths, total_paths)
+            item_tag_path_ids.npy / item_content_ids.npy / item_uids.npy
+            tx_spans.npy       # block-local item offsets
+            tag_paths.json     # only the tag paths first seen in this block
+            transactions.pkl   # only this block's transactions
+
+Registries continue *across* blocks (global first-occurrence ids), so
+:meth:`BlockCorpusStore.append_block` compiles exactly the delta and a
+multi-block attach reconstructs the full compiled corpus without
+recompiling any earlier block.  The chain fingerprint is a rolling hash
+over the per-block content hashes.  Crash safety is two-staged: a block
+directory without its ``block.json`` (torn write) or a complete block not
+yet listed in ``chain.json`` is invisible to :meth:`BlockCorpusStore.open`
+/ attach and is repaired (removed, then rewritten) by the next append.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
+import shutil
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.similarity.backend import NumpyBackend, _load_numpy
 from repro.similarity.item import SimilarityConfig
@@ -60,6 +88,26 @@ MANIFEST_NAME = "manifest.json"
 #: The memmap-attached array blocks of a store directory.
 ARRAY_NAMES = (
     "tp_matrix",
+    "item_tag_path_ids",
+    "item_content_ids",
+    "item_uids",
+    "tx_spans",
+)
+
+#: Version of the block-chain layout; recorded in (and checked against)
+#: every chain manifest, and folded into the rolling chain fingerprint.
+BLOCK_FORMAT_VERSION = 1
+
+#: Name of the chain manifest (rewritten last on every append).
+CHAIN_MANIFEST_NAME = "chain.json"
+
+#: Name of the per-block manifest (written last within each block).
+BLOCK_MANIFEST_NAME = "block.json"
+
+#: The per-item id arrays every block carries (the matrix travels as
+#: ``tp_rows`` strips instead of a full ``tp_matrix``).
+BLOCK_ARRAY_NAMES = (
+    "tp_rows",
     "item_tag_path_ids",
     "item_content_ids",
     "item_uids",
@@ -406,21 +454,633 @@ class CorpusStore:
 
 
 # --------------------------------------------------------------------------- #
+# Block-structured append-only chains (streaming ingestion)
+# --------------------------------------------------------------------------- #
+def _block_name(index: int) -> str:
+    """Directory name of block *index* (``block-00000`` style)."""
+    return f"block-{index:05d}"
+
+
+def chain_base_fingerprint(similarity: SimilarityConfig) -> str:
+    """Seed of the rolling chain hash: layout version + similarity config."""
+    digest = hashlib.sha256()
+    digest.update(f"repro-block-chain/{BLOCK_FORMAT_VERSION}".encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(repr((similarity.f, similarity.gamma)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def roll_chain_fingerprint(previous: str, block_fingerprint: str) -> str:
+    """One step of the rolling chain hash.
+
+    ``h_i = sha256(h_{i-1} || fp(block_i))`` -- the chain fingerprint
+    therefore commits to the whole block sequence (content *and* chunking),
+    and appending a block is an O(1) fingerprint update instead of a
+    re-hash of the accumulated corpus.
+    """
+    digest = hashlib.sha256()
+    digest.update(previous.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(block_fingerprint.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class BlockCorpusStore:
+    """Append-only chain of immutable compiled-corpus blocks.
+
+    Create an empty chain with :meth:`create`, reopen an existing one with
+    :meth:`open`, grow it one immutable block at a time with
+    :meth:`append_block`.  The handle duck-types the monolithic
+    :class:`CorpusStore` interface (``arrays`` / ``tag_paths`` /
+    ``transactions`` / ``row_index`` / ``attach`` / ``fingerprint`` /
+    ``directory``), so backends, refinement-shard workers and the model
+    store consume a chain exactly like a monolithic store -- without ever
+    recompiling earlier blocks: an attach re-assembles the full matrix
+    from the per-block row strips and concatenates the per-item id arrays
+    (which were compiled exactly once, when their block was appended).
+
+    Out-of-core friendliness: :meth:`iter_transaction_blocks` and
+    :meth:`resolve_rows` load one block's pickled transactions at a time
+    without caching the whole corpus on the handle, so a streaming caller
+    can keep only the active tail in process memory while older blocks
+    stay on disk.
+    """
+
+    def __init__(self, directory, similarity: SimilarityConfig, manifest: Dict[str, object]) -> None:
+        self._directory = Path(directory)
+        self._similarity = similarity
+        self._manifest = manifest
+        # cumulative compile registries (continued across appends); rebuilt
+        # lazily from the stored blocks after a cold open
+        self._tag_paths: Optional[List[XMLPath]] = None
+        self._tag_index: Optional[Dict[XMLPath, int]] = None
+        self._content_index: Optional[Dict[tuple, int]] = None
+        self._uid_index: Optional[Dict[object, int]] = None
+        # lazily assembled full-corpus views (invalidated by append_block)
+        self._arrays: Optional[Dict[str, object]] = None
+        self._transactions: Optional[List[Transaction]] = None
+        self._row_index: Optional[Dict[Transaction, int]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Path:
+        """The chain directory this handle points at."""
+        return self._directory
+
+    @property
+    def manifest(self) -> Dict[str, object]:
+        """The parsed chain manifest (version, fingerprint, block list)."""
+        return self._manifest
+
+    @property
+    def fingerprint(self) -> str:
+        """The rolling chain fingerprint over the current block sequence."""
+        return str(self._manifest["fingerprint"])
+
+    @property
+    def similarity(self) -> SimilarityConfig:
+        """The similarity configuration the chain was compiled under."""
+        return self._similarity
+
+    @property
+    def blocks(self) -> List[Dict[str, object]]:
+        """The chain manifest's block records, in chain order."""
+        return list(self._manifest["blocks"])
+
+    @property
+    def transaction_count(self) -> int:
+        """Total transactions across every block of the chain."""
+        return sum(int(block["transactions"]) for block in self.blocks)
+
+    @property
+    def item_count(self) -> int:
+        """Total items across every block of the chain."""
+        return sum(int(block["items"]) for block in self.blocks)
+
+    # ------------------------------------------------------------------ #
+    # Create / open
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, directory, similarity: SimilarityConfig) -> "BlockCorpusStore":
+        """Initialise an empty chain at *directory* (manifest written last)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest: Dict[str, object] = {
+            "format_version": BLOCK_FORMAT_VERSION,
+            "similarity": {"f": similarity.f, "gamma": similarity.gamma},
+            "fingerprint": chain_base_fingerprint(similarity),
+            "blocks": [],
+        }
+        store = cls(directory, similarity, manifest)
+        store._tag_paths, store._tag_index = [], {}
+        store._content_index, store._uid_index = {}, {}
+        store._write_chain_manifest()
+        return store
+
+    @classmethod
+    def open(cls, directory) -> "BlockCorpusStore":
+        """Validate the chain at *directory* and return a handle.
+
+        Only blocks listed in ``chain.json`` are part of the chain: a
+        torn append (block directory present but unlisted, or listed
+        files half-written) either never becomes visible or raises
+        :class:`CorpusStoreError` here.
+        """
+        directory = Path(directory)
+        manifest_path = directory / CHAIN_MANIFEST_NAME
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise CorpusStoreError(
+                f"cannot read block-chain manifest {manifest_path}: {error}"
+            ) from error
+        if not isinstance(manifest, dict) or not isinstance(
+            manifest.get("blocks"), list
+        ):
+            raise CorpusStoreError(
+                f"block-chain manifest {manifest_path} is not a chain object"
+            )
+        version = manifest.get("format_version")
+        if version != BLOCK_FORMAT_VERSION:
+            raise CorpusStoreError(
+                f"block chain {directory} has format version {version!r}, "
+                f"expected {BLOCK_FORMAT_VERSION}"
+            )
+        similarity_doc = manifest.get("similarity")
+        if not isinstance(similarity_doc, dict):
+            raise CorpusStoreError(f"block chain {directory} has no similarity config")
+        similarity = SimilarityConfig(
+            f=float(similarity_doc["f"]), gamma=float(similarity_doc["gamma"])
+        )
+        for block in manifest["blocks"]:
+            block_dir = directory / str(block["name"])
+            if not (block_dir / BLOCK_MANIFEST_NAME).exists():
+                raise CorpusStoreError(
+                    f"block chain {directory} lists {block['name']} but its "
+                    f"{BLOCK_MANIFEST_NAME} is missing"
+                )
+            missing = [
+                name
+                for name in [f"{name}.npy" for name in BLOCK_ARRAY_NAMES]
+                + ["tag_paths.json", "transactions.pkl"]
+                if not (block_dir / name).exists()
+            ]
+            if missing:
+                raise CorpusStoreError(
+                    f"block {block_dir} is missing {', '.join(missing)}"
+                )
+        return cls(directory, similarity, manifest)
+
+    def refresh(self) -> bool:
+        """Adopt blocks appended to the chain by other handles/processes.
+
+        Re-reads ``chain.json`` (atomically replaced by every append, so
+        the read is always consistent) and, when the chain advanced,
+        extends this handle's cumulative registries and cached corpus by
+        walking only the *new* blocks; the assembled array view is
+        invalidated.  A no-op read costs one small JSON load -- cheap
+        enough that :func:`cached_store` refreshes on every lookup, which
+        is how long-lived worker handles see a streaming writer's
+        appends.  Returns True when new blocks were adopted.
+        """
+        manifest_path = self._directory / CHAIN_MANIFEST_NAME
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            return False
+        if not isinstance(manifest, dict) or not isinstance(
+            manifest.get("blocks"), list
+        ):
+            return False
+        if manifest.get("fingerprint") == self._manifest.get("fingerprint"):
+            return False
+        old_blocks = self._manifest["blocks"]
+        old_count = len(old_blocks)
+        appended = (
+            len(manifest["blocks"]) > old_count
+            and [b["name"] for b in manifest["blocks"][:old_count]]
+            == [b["name"] for b in old_blocks]
+        )
+        self._manifest = manifest
+        self._arrays = None
+        if not appended:
+            # the chain diverged (rewritten from scratch); drop everything
+            self._tag_paths = self._tag_index = None
+            self._content_index = self._uid_index = None
+            self._transactions = None
+            self._row_index = None
+            return True
+        new_range = range(old_count, len(manifest["blocks"]))
+        if self._tag_paths is not None:
+            content_key = NumpyBackend._content_key
+            for index in new_range:
+                for tag_path in self._block_tag_paths(index):
+                    self._tag_index[tag_path] = len(self._tag_paths)
+                    self._tag_paths.append(tag_path)
+                for transaction in self._load_block_transactions(index):
+                    for item in transaction.items:
+                        key = content_key(item)
+                        if key not in self._content_index:
+                            self._content_index[key] = len(self._content_index)
+                        if item not in self._uid_index:
+                            self._uid_index[item] = len(self._uid_index)
+        if self._transactions is not None:
+            for index in new_range:
+                self._transactions.extend(self._load_block_transactions(index))
+            self._row_index = None
+        return True
+
+    def _write_chain_manifest(self) -> None:
+        """Rewrite ``chain.json`` atomically (temp file + rename, last step)."""
+        path = self._directory / CHAIN_MANIFEST_NAME
+        temporary = self._directory / (CHAIN_MANIFEST_NAME + ".tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(self._manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temporary, path)
+
+    # ------------------------------------------------------------------ #
+    # Append
+    # ------------------------------------------------------------------ #
+    def repair(self) -> List[str]:
+        """Remove torn block directories (present on disk, not in the chain).
+
+        A crash during :meth:`append_block` can leave a half-written block
+        (its ``block.json`` missing) or a complete block the chain
+        manifest never adopted.  Both are invisible to :meth:`open` /
+        attach; this removes them so the next append rewrites the slot
+        cleanly.  Returns the removed directory names.
+        """
+        listed = {str(block["name"]) for block in self.blocks}
+        removed: List[str] = []
+        for entry in sorted(self._directory.glob("block-*")):
+            if entry.is_dir() and entry.name not in listed:
+                shutil.rmtree(entry, ignore_errors=True)
+                removed.append(entry.name)
+        return removed
+
+    def _ensure_registries(self) -> None:
+        """Rebuild the cumulative compile registries after a cold open.
+
+        Walks the stored blocks once, in chain order: tag paths come from
+        the per-block registries (no similarity recompute), uid / content
+        ids are re-derived from the pickled transactions with the same
+        first-occurrence rule that assigned them -- so the registries a
+        warm handle would have carried are reproduced exactly, and the
+        next append continues the global numbering seamlessly.
+        """
+        if self._tag_paths is not None:
+            return
+        tag_paths: List[XMLPath] = []
+        content_index: Dict[tuple, int] = {}
+        uid_index: Dict[object, int] = {}
+        content_key = NumpyBackend._content_key
+        for index in range(len(self.blocks)):
+            tag_paths.extend(self._block_tag_paths(index))
+            for transaction in self._load_block_transactions(index):
+                for item in transaction.items:
+                    key = content_key(item)
+                    if key not in content_index:
+                        content_index[key] = len(content_index)
+                    if item not in uid_index:
+                        uid_index[item] = len(uid_index)
+        self._tag_paths = tag_paths
+        self._tag_index = {path: i for i, path in enumerate(tag_paths)}
+        self._content_index = content_index
+        self._uid_index = uid_index
+
+    def append_block(
+        self, transactions: Sequence[Transaction], cache
+    ) -> Dict[str, object]:
+        """Compile *transactions* into the next immutable block.
+
+        Only the delta is compiled: new tag paths / content classes / item
+        uids extend the cumulative registries in first-occurrence order
+        (the numbering a monolithic compile of the concatenated corpus
+        would assign), and the structural matrix grows by the new paths'
+        row strip -- ``cache.similarity`` is evaluated for new-path pairs
+        only, never for earlier blocks.  The block directory is written
+        first (its ``block.json`` last within it), then the chain manifest
+        adopts it; torn leftovers from a previous crash are repaired
+        before writing.  Returns the new block's manifest record.
+        """
+        np = _load_numpy()
+        transactions = list(transactions)
+        self._ensure_registries()
+        self.repair()
+
+        tag_paths = self._tag_paths
+        tag_index = self._tag_index
+        content_index = self._content_index
+        uid_index = self._uid_index
+        content_key = NumpyBackend._content_key
+        paths_before = len(tag_paths)
+        new_paths: List[XMLPath] = []
+        tp_ids: List[int] = []
+        content_ids: List[int] = []
+        uids: List[int] = []
+        spans: List[int] = [0]
+        for transaction in transactions:
+            for item in transaction.items:
+                tag_path = item.tag_path
+                tag_id = tag_index.get(tag_path)
+                if tag_id is None:
+                    tag_id = len(tag_paths)
+                    tag_index[tag_path] = tag_id
+                    tag_paths.append(tag_path)
+                    new_paths.append(tag_path)
+                key = content_key(item)
+                content_id = content_index.get(key)
+                if content_id is None:
+                    content_id = len(content_index)
+                    content_index[key] = content_id
+                uid = uid_index.get(item)
+                if uid is None:
+                    uid = len(uid_index)
+                    uid_index[item] = uid
+                tp_ids.append(tag_id)
+                content_ids.append(content_id)
+                uids.append(uid)
+            spans.append(len(tp_ids))
+
+        total_paths = len(tag_paths)
+        strip = np.empty((len(new_paths), total_paths), dtype=np.float64)
+        similarity_of = cache.similarity
+        for i, path_i in enumerate(new_paths):
+            for j in range(total_paths):
+                strip[i, j] = similarity_of(path_i, tag_paths[j])
+
+        index = len(self.blocks)
+        block_dir = self._directory / _block_name(index)
+        block_dir.mkdir(parents=True, exist_ok=True)
+        arrays = {
+            "tp_rows": strip,
+            "item_tag_path_ids": np.asarray(tp_ids, dtype=np.int64),
+            "item_content_ids": np.asarray(content_ids, dtype=np.int64),
+            "item_uids": np.asarray(uids, dtype=np.int64),
+            "tx_spans": np.asarray(spans, dtype=np.int64),
+        }
+        for name, array in arrays.items():
+            np.save(block_dir / f"{name}.npy", array)
+        with open(block_dir / "tag_paths.json", "w", encoding="utf-8") as handle:
+            json.dump([list(path.steps) for path in new_paths], handle)
+        with open(block_dir / "transactions.pkl", "wb") as handle:
+            pickle.dump(transactions, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        block_fingerprint = corpus_fingerprint(transactions, self._similarity)
+        record: Dict[str, object] = {
+            "name": _block_name(index),
+            "fingerprint": block_fingerprint,
+            "transactions": len(transactions),
+            "items": len(tp_ids),
+            "new_tag_paths": len(new_paths),
+            "tag_paths_total": total_paths,
+        }
+        # last write inside the block: its presence marks the block complete
+        with open(block_dir / BLOCK_MANIFEST_NAME, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+        self._manifest["blocks"].append(record)
+        self._manifest["fingerprint"] = roll_chain_fingerprint(
+            self.fingerprint if index else chain_base_fingerprint(self._similarity),
+            block_fingerprint,
+        )
+        # adopting the block into the chain is the final, atomic step
+        self._write_chain_manifest()
+        # invalidate the assembled full-corpus views
+        self._arrays = None
+        if self._transactions is not None:
+            self._transactions = self._transactions + transactions
+            self._row_index = None
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Per-block resources
+    # ------------------------------------------------------------------ #
+    def _block_dir(self, index: int) -> Path:
+        return self._directory / str(self.blocks[index]["name"])
+
+    def _block_tag_paths(self, index: int) -> List[XMLPath]:
+        path = self._block_dir(index) / "tag_paths.json"
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                steps_lists = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise CorpusStoreError(
+                f"cannot read block tag paths {path}: {error}"
+            ) from error
+        return [XMLPath(tuple(steps)) for steps in steps_lists]
+
+    def _load_block_transactions(self, index: int) -> List[Transaction]:
+        """One block's pickled transactions, loaded fresh (never cached)."""
+        path = self._block_dir(index) / "transactions.pkl"
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError) as error:
+            raise CorpusStoreError(
+                f"cannot read block transactions {path}: {error}"
+            ) from error
+
+    def _block_arrays(self, index: int) -> Dict[str, object]:
+        np = _load_numpy()
+        block_dir = self._block_dir(index)
+        loaded: Dict[str, object] = {}
+        for name in BLOCK_ARRAY_NAMES:
+            path = block_dir / f"{name}.npy"
+            try:
+                loaded[name] = np.load(path, mmap_mode="r")
+            except (OSError, ValueError) as error:
+                raise CorpusStoreError(
+                    f"cannot attach block array {path}: {error}"
+                ) from error
+        return loaded
+
+    def iter_transaction_blocks(self) -> Iterator[Tuple[int, List[Transaction]]]:
+        """Yield ``(first_row, transactions)`` per block, one block at a time.
+
+        The out-of-core iteration primitive: each block is unpickled when
+        yielded and is free for collection once the consumer moves on --
+        the handle never caches the concatenated corpus here.
+        """
+        row = 0
+        for index, block in enumerate(self.blocks):
+            transactions = self._load_block_transactions(index)
+            yield row, transactions
+            row += int(block["transactions"])
+
+    def resolve_rows(self, rows: Sequence[int]) -> List[Transaction]:
+        """Resolve global row ids to transactions, loading blocks at most once.
+
+        Rows are grouped by owning block; only the touched blocks are
+        unpickled (transiently -- nothing is cached on the handle), so the
+        memory high-water mark is one block plus the result, not the
+        corpus.
+        """
+        if self._transactions is not None:
+            corpus = self._transactions
+            return [corpus[row] for row in rows]
+        starts: List[int] = []
+        position = 0
+        for block in self.blocks:
+            starts.append(position)
+            position += int(block["transactions"])
+        if any(row < 0 or row >= position for row in rows):
+            raise CorpusStoreError(
+                f"row out of range for chain {self._directory} "
+                f"({position} transactions)"
+            )
+        import bisect
+
+        by_block: Dict[int, List[int]] = {}
+        for order, row in enumerate(rows):
+            index = bisect.bisect_right(starts, row) - 1
+            by_block.setdefault(index, []).append(order)
+        resolved: List[Optional[Transaction]] = [None] * len(rows)
+        for index, orders in by_block.items():
+            block = self._load_block_transactions(index)
+            for order in orders:
+                resolved[order] = block[rows[order] - starts[index]]
+        return resolved
+
+    # ------------------------------------------------------------------ #
+    # CorpusStore-compatible full-corpus views
+    # ------------------------------------------------------------------ #
+    def arrays(self) -> Dict[str, object]:
+        """Assemble the full-corpus arrays from the chain (cached).
+
+        The structural matrix is rebuilt from the per-block row strips
+        (pure copies of stored floats -- no ``cache.similarity`` calls, so
+        earlier blocks are never recompiled); the per-item id arrays are
+        concatenations of the per-block memmaps and the span table is the
+        per-block tables shifted by their item offsets.  The result is
+        keyed exactly like :meth:`CorpusStore.arrays`, which is what lets
+        ``NumpyBackend.attach_store`` consume a chain unchanged.
+        """
+        if self._arrays is None:
+            np = _load_numpy()
+            blocks = self.blocks
+            total_paths = (
+                int(blocks[-1]["tag_paths_total"]) if blocks else 0
+            )
+            matrix = np.zeros((total_paths, total_paths), dtype=np.float64)
+            item_arrays: Dict[str, List[object]] = {
+                "item_tag_path_ids": [],
+                "item_content_ids": [],
+                "item_uids": [],
+            }
+            spans: List[object] = [np.zeros(1, dtype=np.int64)]
+            item_offset = 0
+            path_offset = 0
+            for index in range(len(blocks)):
+                arrays = self._block_arrays(index)
+                strip = arrays["tp_rows"]
+                new_paths, covered = strip.shape
+                if new_paths:
+                    matrix[path_offset : path_offset + new_paths, :covered] = strip
+                    matrix[:covered, path_offset : path_offset + new_paths] = strip.T
+                path_offset += new_paths
+                for name in item_arrays:
+                    item_arrays[name].append(arrays[name])
+                spans.append(arrays["tx_spans"][1:] + item_offset)
+                item_offset += int(blocks[index]["items"])
+            assembled: Dict[str, object] = {"tp_matrix": matrix}
+            for name, parts in item_arrays.items():
+                assembled[name] = (
+                    np.concatenate(parts)
+                    if parts
+                    else np.zeros(0, dtype=np.int64)
+                )
+            assembled["tx_spans"] = np.concatenate(spans)
+            self._arrays = assembled
+        return self._arrays
+
+    def tag_paths(self) -> List[XMLPath]:
+        """The cumulative tag-path registry, in global first-occurrence order."""
+        self._ensure_registries()
+        return list(self._tag_paths)
+
+    def bind_transactions(self, transactions: Sequence[Transaction]) -> None:
+        """Adopt the caller's live corpus list instead of unpickling blocks."""
+        self._transactions = list(transactions)
+        self._row_index = None
+
+    def transactions(self) -> List[Transaction]:
+        """The full chained corpus, concatenated from the blocks and cached.
+
+        This materialises every block (refinement-shard workers need
+        arbitrary row access); out-of-core callers should prefer
+        :meth:`iter_transaction_blocks` / :meth:`resolve_rows`.
+        """
+        if self._transactions is None:
+            corpus: List[Transaction] = []
+            for index in range(len(self.blocks)):
+                corpus.extend(self._load_block_transactions(index))
+            self._transactions = corpus
+        return self._transactions
+
+    def row_index(self) -> Dict[Transaction, int]:
+        """Mapping from chained transaction (by value) to its global row."""
+        if self._row_index is None:
+            self._row_index = {
+                transaction: row
+                for row, transaction in enumerate(self.transactions())
+            }
+        return self._row_index
+
+    def attach(self, backend, transactions: Optional[Sequence[Transaction]] = None) -> bool:
+        """Attach this chain to *backend* (``backend.attach_store``)."""
+        attach = getattr(backend, "attach_store", None)
+        if attach is None:
+            return False
+        return bool(attach(self, transactions))
+
+
+def load_store(directory):
+    """Load the store at *directory*, whichever layout it uses.
+
+    A directory carrying a ``chain.json`` is opened as a
+    :class:`BlockCorpusStore`; anything else goes through the monolithic
+    :meth:`CorpusStore.load`.  Shard workers resolve ``store_dir``
+    references through this, so refinement shards address block chains
+    and monolithic stores interchangeably.
+    """
+    directory = Path(directory)
+    if (directory / CHAIN_MANIFEST_NAME).exists():
+        return BlockCorpusStore.open(directory)
+    return CorpusStore.load(directory)
+
+
+# --------------------------------------------------------------------------- #
 # Process-wide store cache
 # --------------------------------------------------------------------------- #
 #: Stores attached by this process, keyed by directory.  Worker processes
 #: resolve shard row ids through this cache, so the corpus is unpickled at
 #: most once per process no matter how many shards and rounds reference it.
-_STORE_CACHE: Dict[str, CorpusStore] = {}
+_STORE_CACHE: Dict[str, object] = {}
 
 
-def cached_store(directory) -> CorpusStore:
-    """This process' shared handle for the store at *directory*."""
+def cached_store(directory):
+    """This process' shared handle for the store at *directory*.
+
+    Chain-aware: resolves through :func:`load_store`, so shard workers
+    addressing a block chain get a :class:`BlockCorpusStore` handle and
+    monolithic directories keep returning :class:`CorpusStore`.
+    """
     key = str(directory)
     store = _STORE_CACHE.get(key)
     if store is None:
-        store = CorpusStore.load(directory)
+        store = load_store(directory)
         _STORE_CACHE[key] = store
+    else:
+        # chain handles can go stale while a streaming writer appends;
+        # refreshing here is what lets worker processes resolve rows of
+        # blocks appended after their handle was first cached
+        refresh = getattr(store, "refresh", None)
+        if refresh is not None:
+            refresh()
     return store
 
 

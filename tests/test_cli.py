@@ -20,6 +20,7 @@ class TestParser:
             "cluster",
             "classify",
             "serve",
+            "stream",
             "models",
             "figure7",
             "figure8",

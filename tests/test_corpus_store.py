@@ -537,3 +537,207 @@ class TestAttachParity:
         np.testing.assert_array_equal(
             arrays["tp_matrix"], backend._ensure_tp_matrix()
         )
+
+
+# --------------------------------------------------------------------------- #
+# Block chains (streaming out-of-core ingestion)
+# --------------------------------------------------------------------------- #
+from repro.similarity.corpus_store import (  # noqa: E402  (section import)
+    BLOCK_MANIFEST_NAME,
+    BlockCorpusStore,
+    chain_base_fingerprint,
+    load_store,
+    roll_chain_fingerprint,
+)
+
+
+def chunk3(transactions):
+    """Split a corpus into three streaming chunks."""
+    third = len(transactions) // 3
+    return [
+        transactions[:third],
+        transactions[third : 2 * third],
+        transactions[2 * third :],
+    ]
+
+
+def build_chain(directory, chunks, cache=None):
+    """Create a chain at *directory* and append *chunks* in order."""
+    cache = cache if cache is not None else TagPathSimilarityCache()
+    chain = BlockCorpusStore.create(directory, SIMILARITY)
+    for chunk in chunks:
+        chain.append_block(chunk, cache)
+    return chain
+
+
+class TestBlockChain:
+    def test_chunked_chain_matches_a_monolithic_compilation(
+        self, dblp_small, tmp_path
+    ):
+        """Arrays assembled from blocks are bit-identical to one compile."""
+        import numpy as np
+
+        transactions = dblp_small.transactions
+        chain = build_chain(tmp_path / "chain", chunk3(transactions))
+        engine = make_engine()
+        fresh_compile(engine, transactions)
+        backend = engine.backend
+        arrays = chain.arrays()
+        spans = arrays["tx_spans"]
+        assert chain.transaction_count == len(transactions)
+        assert spans[0] == 0
+        for row, transaction in enumerate(transactions):
+            compiled = backend._compile(transaction)
+            start, stop = int(spans[row]), int(spans[row + 1])
+            np.testing.assert_array_equal(
+                arrays["item_tag_path_ids"][start:stop], compiled.tag_path_ids
+            )
+            np.testing.assert_array_equal(
+                arrays["item_content_ids"][start:stop], compiled.content_ids
+            )
+            np.testing.assert_array_equal(
+                arrays["item_uids"][start:stop], compiled.uids
+            )
+        np.testing.assert_array_equal(
+            arrays["tp_matrix"], backend._ensure_tp_matrix()
+        )
+
+    def test_append_extends_without_touching_earlier_blocks(
+        self, dblp_small, tmp_path
+    ):
+        """Appending rewrites nothing but the chain manifest."""
+        chunks = chunk3(dblp_small.transactions)
+        cache = TagPathSimilarityCache()
+        chain = build_chain(tmp_path / "chain", chunks[:2], cache)
+        first_block = (tmp_path / "chain" / "block-00000" / BLOCK_MANIFEST_NAME)
+        before = first_block.stat().st_mtime_ns, first_block.read_bytes()
+        chain.append_block(chunks[2], cache)
+        assert (first_block.stat().st_mtime_ns, first_block.read_bytes()) == before
+        assert [record["name"] for record in chain.blocks] == [
+            "block-00000",
+            "block-00001",
+            "block-00002",
+        ]
+
+    def test_chain_fingerprint_rolls_over_block_fingerprints(
+        self, dblp_small, tmp_path
+    ):
+        """The manifest fingerprint is the documented rolling hash."""
+        chunks = chunk3(dblp_small.transactions)
+        chain = build_chain(tmp_path / "chain", chunks)
+        expected = chain_base_fingerprint(SIMILARITY)
+        for record in chain.blocks:
+            expected = roll_chain_fingerprint(expected, record["fingerprint"])
+        assert chain.fingerprint == expected
+        reopened = BlockCorpusStore.open(tmp_path / "chain")
+        assert reopened.fingerprint == expected
+
+    def test_warm_multi_block_attach_compiles_nothing(self, dblp_small, tmp_path):
+        """A chain attach is zero-compile and bit-exact with fresh compile."""
+        transactions = dblp_small.transactions
+        build_chain(tmp_path / "chain", chunk3(transactions))
+        warm = make_engine()
+        store = load_store(tmp_path / "chain")
+        store.bind_transactions(transactions)
+        assert store.attach(warm.backend)
+        assert warm.backend.compile_corpus(transactions) == 0
+        assert warm.backend.corpus_compile_count == 0
+        fresh = make_engine()
+        fresh_compile(fresh, transactions)
+        rng = random.Random(7)
+        pairs = [
+            (rng.choice(transactions), rng.choice(transactions)) for _ in range(25)
+        ]
+        for left, right in pairs:
+            assert warm.transaction_similarity(
+                left, right
+            ) == fresh.transaction_similarity(left, right)
+
+    def test_refresh_adopts_blocks_appended_by_another_handle(
+        self, dblp_small, tmp_path
+    ):
+        """A stale reader handle follows the chain after an append."""
+        chunks = chunk3(dblp_small.transactions)
+        cache = TagPathSimilarityCache()
+        chain = build_chain(tmp_path / "chain", chunks[:2], cache)
+        reader = BlockCorpusStore.open(tmp_path / "chain")
+        assert reader.refresh() is False  # up to date: no-op
+        chain.append_block(chunks[2], cache)
+        assert reader.refresh() is True
+        assert reader.fingerprint == chain.fingerprint
+        assert reader.transaction_count == chain.transaction_count
+        tail = reader.resolve_rows(
+            [chain.transaction_count - len(chunks[2]), chain.transaction_count - 1]
+        )
+        assert tail[0].transaction_id == chunks[2][0].transaction_id
+        assert tail[-1].transaction_id == chunks[2][-1].transaction_id
+
+
+class TestBlockChainCrashSafety:
+    def torn_block(self, chain_dir):
+        """Simulate a crash mid-append: block dir exists, chain untouched."""
+        torn = chain_dir / "block-00002"
+        torn.mkdir()
+        (torn / "tp_rows.npy").write_bytes(b"\x93NUMPY-garbage")
+        return torn
+
+    def test_partially_written_block_is_invisible(self, dblp_small, tmp_path):
+        """A torn block (unlisted dir) does not corrupt open or attach."""
+        transactions = dblp_small.transactions
+        chunks = chunk3(transactions)
+        build_chain(tmp_path / "chain", chunks[:2])
+        self.torn_block(tmp_path / "chain")
+        reopened = BlockCorpusStore.open(tmp_path / "chain")
+        listed = [record["name"] for record in reopened.blocks]
+        assert listed == ["block-00000", "block-00001"]
+        visible = chunks[0] + chunks[1]
+        assert reopened.transaction_count == len(visible)
+        engine = make_engine()
+        reopened.bind_transactions(visible)
+        assert reopened.attach(engine.backend)
+        assert engine.backend.compile_corpus(visible) == 0
+
+    def test_next_append_repairs_the_torn_block(self, dblp_small, tmp_path):
+        """The torn dir is removed and its index reused by the next append."""
+        chunks = chunk3(dblp_small.transactions)
+        cache = TagPathSimilarityCache()
+        chain = build_chain(tmp_path / "chain", chunks[:2], cache)
+        torn = self.torn_block(tmp_path / "chain")
+        assert torn.exists()
+        chain.append_block(chunks[2], cache)
+        assert [record["name"] for record in chain.blocks] == [
+            "block-00000",
+            "block-00001",
+            "block-00002",
+        ]
+        assert (torn / BLOCK_MANIFEST_NAME).exists()  # rebuilt, now valid
+        reopened = BlockCorpusStore.open(tmp_path / "chain")
+        assert reopened.transaction_count == sum(len(chunk) for chunk in chunks)
+
+    def test_explicit_repair_reports_removed_orphans(self, dblp_small, tmp_path):
+        chunks = chunk3(dblp_small.transactions)
+        chain = build_chain(tmp_path / "chain", chunks[:2])
+        torn = self.torn_block(tmp_path / "chain")
+        assert chain.repair() == ["block-00002"]
+        assert not torn.exists()
+        assert chain.repair() == []
+
+    def test_listed_block_with_missing_manifest_is_rejected(
+        self, dblp_small, tmp_path
+    ):
+        """Losing a *listed* block's manifest is corruption, not a torn tail."""
+        chunks = chunk3(dblp_small.transactions)
+        build_chain(tmp_path / "chain", chunks[:2])
+        (tmp_path / "chain" / "block-00001" / BLOCK_MANIFEST_NAME).unlink()
+        with pytest.raises(CorpusStoreError):
+            BlockCorpusStore.open(tmp_path / "chain")
+
+    def test_load_store_dispatches_on_layout(self, dblp_small, tmp_path):
+        """`load_store` opens chains and monolithic dirs interchangeably."""
+        transactions = dblp_small.transactions
+        build_chain(tmp_path / "chain", chunk3(transactions))
+        assert isinstance(load_store(tmp_path / "chain"), BlockCorpusStore)
+        status = prepare_engine_corpus(
+            make_engine(), transactions, cache_dir=tmp_path / "mono"
+        )
+        assert isinstance(load_store(status["directory"]), CorpusStore)

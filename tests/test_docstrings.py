@@ -15,6 +15,7 @@ Covered modules (the ISSUE's documented public API):
 * ``repro.core.representatives`` -- the summarisation machinery
 * ``repro.network.mpengine`` -- executors, shards, per-process engines
 * ``repro.core.config`` -- :class:`~repro.core.config.ClusteringConfig`
+* ``repro.core.streaming`` -- streaming / out-of-core incremental fitting
 * ``repro.similarity.corpus_store`` -- the persistent compiled-corpus store
 * ``repro.core.model_store`` -- fitted-model persistence + warm queries
 * ``repro.serving`` -- the stdin / WSGI / async multi-model serving layer
@@ -32,6 +33,7 @@ import pytest
 import repro.core.config
 import repro.core.model_store
 import repro.core.representatives
+import repro.core.streaming
 import repro.network.codec
 import repro.network.mpengine
 import repro.network.realnet
@@ -50,6 +52,7 @@ DOCUMENTED_MODULES = [
     repro.network.codec,
     repro.network.realnet,
     repro.core.config,
+    repro.core.streaming,
     repro.similarity.corpus_store,
     repro.core.model_store,
     repro.serving,

@@ -343,3 +343,171 @@ class TestCli:
         fetcher.join(timeout=10)
         assert status == 0
         assert "serving   : http://127.0.0.1" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# classify --stdin: line-by-line streaming classification
+# --------------------------------------------------------------------------- #
+class _LazyStdin:
+    """Iterable stdin stand-in that refuses bulk reads.
+
+    ``classify --stdin`` must consume paths line by line (bounded
+    memory); any ``read()``/``readlines()`` slurp is a regression.
+    """
+
+    def __init__(self, lines):
+        self._lines = iter(lines)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        return next(self._lines)
+
+    def read(self, *args):  # pragma: no cover - the assertion IS the test
+        raise AssertionError("classify --stdin must not bulk-read stdin")
+
+    readlines = read
+
+
+class TestClassifyStdin:
+    def test_stdin_paths_stream_line_by_line(
+        self, model_dir, xml_files, capsys, monkeypatch
+    ):
+        import sys
+
+        lines = [f"{path}\n" for path in xml_files[:3]]
+        lines.insert(1, "\n")  # blank lines are skipped, not classified
+        monkeypatch.setattr(sys, "stdin", _LazyStdin(lines))
+        status = main(["classify", "--model", str(model_dir), "--stdin"])
+        out = capsys.readouterr().out
+        assert status == 0
+        for path in xml_files[:3]:
+            assert f"{path}: cluster=" in out
+        assert out.count("cluster=") == 3
+
+    def test_positional_files_come_before_stdin(
+        self, model_dir, xml_files, capsys, monkeypatch
+    ):
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", _LazyStdin([f"{xml_files[1]}\n"]))
+        status = main(
+            ["classify", "--model", str(model_dir), "--stdin", str(xml_files[0])]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert out.index(str(xml_files[0])) < out.index(f"{xml_files[1]}: cluster=")
+
+    def test_classify_without_files_or_stdin_exits(self, model_dir):
+        with pytest.raises(SystemExit, match="--stdin"):
+            main(["classify", "--model", str(model_dir)])
+
+
+# --------------------------------------------------------------------------- #
+# cxk stream: incremental ingestion into a saved model directory
+# --------------------------------------------------------------------------- #
+class TestStreamCommand:
+    def stream_args(self, model, extra=()):
+        return [
+            "stream",
+            "--model", str(model),
+            "--corpus", "DBLP",
+            "--scale", "0.2",
+            "--k", "4",
+            "--gamma", "0.8",
+            "--max-iterations", "2",
+            "--chunk-size", "16",
+            "--backend", "numpy",
+            *extra,
+        ]
+
+    def test_stream_corpus_checkpoints_and_saves_a_model(
+        self, tmp_path, capsys
+    ):
+        model = tmp_path / "streamed"
+        status = main(self.stream_args(model, ["--checkpoint-every", "1"]))
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "algorithm : Streaming-XK-means" in out
+        assert out.count(f"checkpoint: saved -> {model}") >= 2  # periodic + final
+        assert "chunks    :" in out
+        loaded = load_model(model)
+        assert loaded.config.streaming is True
+        assert loaded.config.chunk_size == 16
+
+    def test_streamed_model_serves_classify(self, tmp_path, xml_files, capsys):
+        model = tmp_path / "streamed"
+        assert main(self.stream_args(model)) == 0
+        capsys.readouterr()
+        status = main(["classify", "--model", str(model), str(xml_files[0])])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert f"{xml_files[0]}: cluster=" in out
+
+    def test_out_of_core_stream_builds_a_block_chain(
+        self, tmp_path, xml_files, capsys
+    ):
+        from repro.similarity.corpus_store import BlockCorpusStore
+
+        model = tmp_path / "streamed"
+        status = main(self.stream_args(model, ["--out-of-core"]))
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "blocks    : out-of-core ->" in out
+        chain = BlockCorpusStore.open(model / "blocks")
+        assert chain.transaction_count > 0
+        clear_store_cache()
+        status = main(["classify", "--model", str(model), str(xml_files[0])])
+        out = capsys.readouterr().out
+        assert status == 0
+        # the block chain re-attaches warm: zero compile work to classify
+        assert "store     : hit (compiled 0 transactions)" in out
+
+    def test_stream_from_stdin_paths(self, tmp_path, xml_files, capsys, monkeypatch):
+        import sys
+
+        model = tmp_path / "streamed"
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO("".join(f"{path}\n" for path in xml_files))
+        )
+        status = main(
+            [
+                "stream",
+                "--model", str(model),
+                "--stdin",
+                "--k", "3",
+                "--gamma", "0.7",
+                "--max-iterations", "2",
+                "--chunk-size", "4",
+                "--backend", "numpy",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert f"checkpoint: saved -> {model} (final" in out
+
+    def test_stream_input_modes_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit, match="one or the other"):
+            main(self.stream_args(tmp_path / "m", ["--stdin"]))
+
+    def test_stream_without_input_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="stream needs"):
+            main(
+                ["stream", "--model", str(tmp_path / "m"), "--backend", "numpy"]
+            )
+
+    def test_under_k_stream_fails_loudly(self, tmp_path, xml_files, monkeypatch):
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(f"{xml_files[0]}\n"))
+        with pytest.raises(SystemExit, match="error:"):
+            main(
+                [
+                    "stream",
+                    "--model", str(tmp_path / "m"),
+                    "--stdin",
+                    "--k", "4",
+                    "--backend", "numpy",
+                ]
+            )
